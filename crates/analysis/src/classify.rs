@@ -1,0 +1,241 @@
+//! Confusion matrices and F1 scores for the spatial-feature correlation analysis
+//! (§5.4.2, Fig. 9, Table 3).
+//!
+//! The paper predicts each row's `HC_first` (one of the 14 tested hammer counts)
+//! from a single binary spatial feature (one bit of the bank/row/subarray address or
+//! of the row's distance to the sense amplifiers), builds the confusion matrix of
+//! predictions vs. observations, and reports the weighted F1 score. A feature is
+//! considered to correlate "strongly" with `HC_first` when its F1 exceeds 0.7.
+
+use std::collections::BTreeMap;
+
+/// A multi-class confusion matrix over `u64` class labels (e.g. `HC_first` values).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// `counts[(actual, predicted)]`.
+    counts: BTreeMap<(u64, u64), u64>,
+    total: u64,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one (actual, predicted) pair.
+    pub fn record(&mut self, actual: u64, predicted: u64) {
+        *self.counts.entry((actual, predicted)).or_default() += 1;
+        self.total += 1;
+    }
+
+    /// Build a matrix from parallel slices of actual and predicted labels.
+    pub fn from_labels(actual: &[u64], predicted: &[u64]) -> Self {
+        assert_eq!(actual.len(), predicted.len());
+        let mut m = Self::new();
+        for (&a, &p) in actual.iter().zip(predicted) {
+            m.record(a, p);
+        }
+        m
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// All class labels seen as either actual or predicted, ascending.
+    pub fn classes(&self) -> Vec<u64> {
+        let mut set: Vec<u64> = self
+            .counts
+            .keys()
+            .flat_map(|&(a, p)| [a, p])
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+
+    fn count(&self, actual: u64, predicted: u64) -> u64 {
+        self.counts.get(&(actual, predicted)).copied().unwrap_or(0)
+    }
+
+    /// Per-class precision, recall and F1 for one class.
+    pub fn class_f1(&self, class: u64) -> f64 {
+        let classes = self.classes();
+        let tp = self.count(class, class) as f64;
+        let fp: f64 = classes
+            .iter()
+            .filter(|&&c| c != class)
+            .map(|&c| self.count(c, class) as f64)
+            .sum();
+        let fn_: f64 = classes
+            .iter()
+            .filter(|&&c| c != class)
+            .map(|&c| self.count(class, c) as f64)
+            .sum();
+        if tp == 0.0 {
+            return 0.0;
+        }
+        let precision = tp / (tp + fp);
+        let recall = tp / (tp + fn_);
+        2.0 * precision * recall / (precision + recall)
+    }
+
+    /// Support (number of actual samples) of one class.
+    pub fn class_support(&self, class: u64) -> u64 {
+        self.classes()
+            .iter()
+            .map(|&p| self.count(class, p))
+            .sum()
+    }
+
+    /// Weighted-average F1 score: per-class F1 weighted by class support. This is
+    /// the score the paper sweeps as a threshold in Fig. 9.
+    pub fn weighted_f1(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.classes()
+            .iter()
+            .map(|&c| self.class_f1(c) * self.class_support(c) as f64)
+            .sum::<f64>()
+            / self.total as f64
+    }
+
+    /// Overall accuracy (fraction of samples on the diagonal).
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.classes()
+            .iter()
+            .map(|&c| self.count(c, c))
+            .sum::<u64>() as f64
+            / self.total as f64
+    }
+}
+
+/// F1 score obtained when predicting a categorical label from a single binary
+/// feature using the best constant-per-feature-value predictor (majority vote):
+/// rows with `feature == false` are predicted to have the most common label among
+/// `false` rows, likewise for `true` rows.
+///
+/// This mirrors the paper's per-feature prediction methodology: a feature can only
+/// be predictive if the label distribution differs between its two values.
+pub fn binary_feature_f1(feature: &[bool], labels: &[u64]) -> f64 {
+    assert_eq!(feature.len(), labels.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let majority = |value: bool| -> Option<u64> {
+        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+        for (&f, &l) in feature.iter().zip(labels) {
+            if f == value {
+                *counts.entry(l).or_default() += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(label, count)| (count, std::cmp::Reverse(label)))
+            .map(|(label, _)| label)
+    };
+    let overall_majority = {
+        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+        for &l in labels {
+            *counts.entry(l).or_default() += 1;
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(_, count)| count)
+            .map(|(label, _)| label)
+            .unwrap()
+    };
+    let pred_false = majority(false).unwrap_or(overall_majority);
+    let pred_true = majority(true).unwrap_or(overall_majority);
+    let predicted: Vec<u64> = feature
+        .iter()
+        .map(|&f| if f { pred_true } else { pred_false })
+        .collect();
+    ConfusionMatrix::from_labels(labels, &predicted).weighted_f1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let labels = [1u64, 2, 3, 1, 2, 3];
+        let m = ConfusionMatrix::from_labels(&labels, &labels);
+        assert!((m.weighted_f1() - 1.0).abs() < 1e-12);
+        assert!((m.accuracy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn useless_prediction_scores_low() {
+        let actual = [1u64, 2, 3, 4, 1, 2, 3, 4];
+        let predicted = [4u64, 3, 2, 1, 4, 3, 2, 1];
+        let m = ConfusionMatrix::from_labels(&actual, &predicted);
+        assert_eq!(m.weighted_f1(), 0.0);
+        assert_eq!(m.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn weighted_f1_accounts_for_support() {
+        // Class 1 dominates and is always right; rare class 2 is always wrong.
+        let actual = [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 2];
+        let predicted = [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1];
+        let m = ConfusionMatrix::from_labels(&actual, &predicted);
+        let f1 = m.weighted_f1();
+        assert!(f1 > 0.8 && f1 < 1.0, "f1 = {f1}");
+    }
+
+    #[test]
+    fn predictive_binary_feature_scores_high() {
+        // Feature perfectly separates the two label values.
+        let feature: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let labels: Vec<u64> = (0..100).map(|i| if i % 2 == 0 { 8 } else { 32 }).collect();
+        let f1 = binary_feature_f1(&feature, &labels);
+        assert!((f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uninformative_binary_feature_scores_low() {
+        // Labels are uniform over 4 values regardless of the feature.
+        let feature: Vec<bool> = (0..400).map(|i| i % 2 == 0).collect();
+        let labels: Vec<u64> = (0..400).map(|i| (i / 100) as u64).collect();
+        let f1 = binary_feature_f1(&feature, &labels);
+        assert!(f1 < 0.5, "f1 = {f1}");
+    }
+
+    #[test]
+    fn partially_predictive_feature_is_in_between() {
+        // Feature explains the label for 80% of samples.
+        let n = 1000;
+        let feature: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let labels: Vec<u64> = (0..n)
+            .map(|i| {
+                if i % 10 < 8 {
+                    if i % 2 == 0 {
+                        8
+                    } else {
+                        32
+                    }
+                } else if i % 2 == 0 {
+                    32
+                } else {
+                    8
+                }
+            })
+            .collect();
+        let f1 = binary_feature_f1(&feature, &labels);
+        assert!(f1 > 0.6 && f1 < 0.95, "f1 = {f1}");
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(binary_feature_f1(&[], &[]), 0.0);
+        assert_eq!(ConfusionMatrix::new().weighted_f1(), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Expansion of a DRAM row's spatial coordinates into binary features.
+//!
+//! The paper's §5.4.2 correlation analysis takes, for every victim row, "each bit in
+//! the binary representation" of four properties — bank address, row address,
+//! subarray address and the row's distance to the sense amplifiers — and asks how
+//! well each bit predicts the row's `HC_first`.
+
+/// Which spatial property a feature bit comes from (the columns of Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FeatureKind {
+    /// A bit of the bank address ("Ba" in Table 3).
+    BankBit,
+    /// A bit of the row address ("Ro").
+    RowBit,
+    /// A bit of the subarray index ("Sa").
+    SubarrayBit,
+    /// A bit of the row's distance to its local sense amplifiers ("Dist.").
+    DistanceBit,
+}
+
+impl std::fmt::Display for FeatureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeatureKind::BankBit => write!(f, "Ba"),
+            FeatureKind::RowBit => write!(f, "Ro"),
+            FeatureKind::SubarrayBit => write!(f, "Sa"),
+            FeatureKind::DistanceBit => write!(f, "Dist"),
+        }
+    }
+}
+
+/// One binary spatial feature: a named bit of one of the four spatial properties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpatialFeature {
+    /// Which property the bit belongs to.
+    pub kind: FeatureKind,
+    /// Bit position within the property (0 = least significant).
+    pub bit: u32,
+}
+
+impl SpatialFeature {
+    /// Human-readable name like `"Ro bit 3"`.
+    pub fn name(&self) -> String {
+        format!("{} bit {}", self.kind, self.bit)
+    }
+}
+
+/// The spatial coordinates of one row, as integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowCoordinates {
+    /// Bank address.
+    pub bank: usize,
+    /// Row address (logical, as used by the memory controller).
+    pub row: usize,
+    /// Subarray index of the row within its bank.
+    pub subarray: usize,
+    /// Distance (in rows) from the row to its local sense amplifiers.
+    pub distance_to_sense_amps: usize,
+}
+
+/// Enumerate every spatial feature up to the given bit widths.
+pub fn spatial_features(
+    bank_bits: u32,
+    row_bits: u32,
+    subarray_bits: u32,
+    distance_bits: u32,
+) -> Vec<SpatialFeature> {
+    let mut out = Vec::new();
+    for bit in 0..bank_bits {
+        out.push(SpatialFeature {
+            kind: FeatureKind::BankBit,
+            bit,
+        });
+    }
+    for bit in 0..row_bits {
+        out.push(SpatialFeature {
+            kind: FeatureKind::RowBit,
+            bit,
+        });
+    }
+    for bit in 0..subarray_bits {
+        out.push(SpatialFeature {
+            kind: FeatureKind::SubarrayBit,
+            bit,
+        });
+    }
+    for bit in 0..distance_bits {
+        out.push(SpatialFeature {
+            kind: FeatureKind::DistanceBit,
+            bit,
+        });
+    }
+    out
+}
+
+/// Evaluate a feature on one row's coordinates.
+pub fn evaluate_feature(feature: &SpatialFeature, coords: &RowCoordinates) -> bool {
+    let value = match feature.kind {
+        FeatureKind::BankBit => coords.bank,
+        FeatureKind::RowBit => coords.row,
+        FeatureKind::SubarrayBit => coords.subarray,
+        FeatureKind::DistanceBit => coords.distance_to_sense_amps,
+    };
+    (value >> feature.bit) & 1 == 1
+}
+
+/// Evaluate a feature across many rows, producing the boolean vector expected by
+/// [`crate::classify::binary_feature_f1`].
+pub fn feature_vector(feature: &SpatialFeature, rows: &[RowCoordinates]) -> Vec<bool> {
+    rows.iter().map(|c| evaluate_feature(feature, c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_counts() {
+        let features = spatial_features(2, 4, 3, 5);
+        assert_eq!(features.len(), 2 + 4 + 3 + 5);
+        let row_bits = features
+            .iter()
+            .filter(|f| f.kind == FeatureKind::RowBit)
+            .count();
+        assert_eq!(row_bits, 4);
+    }
+
+    #[test]
+    fn evaluation_extracts_the_right_bit() {
+        let coords = RowCoordinates {
+            bank: 0b10,
+            row: 0b1010,
+            subarray: 0b1,
+            distance_to_sense_amps: 0b100,
+        };
+        assert!(evaluate_feature(
+            &SpatialFeature {
+                kind: FeatureKind::BankBit,
+                bit: 1
+            },
+            &coords
+        ));
+        assert!(!evaluate_feature(
+            &SpatialFeature {
+                kind: FeatureKind::RowBit,
+                bit: 0
+            },
+            &coords
+        ));
+        assert!(evaluate_feature(
+            &SpatialFeature {
+                kind: FeatureKind::RowBit,
+                bit: 3
+            },
+            &coords
+        ));
+        assert!(evaluate_feature(
+            &SpatialFeature {
+                kind: FeatureKind::DistanceBit,
+                bit: 2
+            },
+            &coords
+        ));
+    }
+
+    #[test]
+    fn names_are_table3_style() {
+        let f = SpatialFeature {
+            kind: FeatureKind::SubarrayBit,
+            bit: 7,
+        };
+        assert_eq!(f.name(), "Sa bit 7");
+    }
+
+    #[test]
+    fn feature_vector_matches_elementwise_evaluation() {
+        let rows: Vec<RowCoordinates> = (0..16)
+            .map(|r| RowCoordinates {
+                bank: 1,
+                row: r,
+                subarray: r / 4,
+                distance_to_sense_amps: r % 4,
+            })
+            .collect();
+        let f = SpatialFeature {
+            kind: FeatureKind::RowBit,
+            bit: 1,
+        };
+        let v = feature_vector(&f, &rows);
+        assert_eq!(v.len(), 16);
+        assert_eq!(v[2], true);
+        assert_eq!(v[4], false);
+    }
+}

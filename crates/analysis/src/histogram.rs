@@ -1,0 +1,102 @@
+//! Categorical histograms (e.g. the distribution of `HC_first` values over the
+//! tested hammer-count grid shown in Fig. 5).
+
+use std::collections::BTreeMap;
+
+/// A histogram over discrete (ordered) categories.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CategoricalHistogram<K: Ord + Copy> {
+    counts: BTreeMap<K, u64>,
+    total: u64,
+}
+
+impl<K: Ord + Copy> CategoricalHistogram<K> {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Build a histogram from an iterator of observations.
+    pub fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let mut h = Self::new();
+        for k in iter {
+            h.add(k);
+        }
+        h
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, key: K) {
+        *self.counts.entry(key).or_default() += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations of a category.
+    pub fn count(&self, key: K) -> u64 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Fraction of all observations falling in a category (the y-axis of Fig. 5).
+    pub fn fraction(&self, key: K) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(key) as f64 / self.total as f64
+        }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The categories observed, in ascending order.
+    pub fn categories(&self) -> Vec<K> {
+        self.counts.keys().copied().collect()
+    }
+
+    /// The smallest observed category (e.g. the red dashed "minimum `HC_first`" line
+    /// of Fig. 5).
+    pub fn min_category(&self) -> Option<K> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Iterate `(category, count)` in ascending category order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_fractions() {
+        let h = CategoricalHistogram::from_iter([8u64, 8, 16, 32, 32, 32, 32, 64]);
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.count(32), 4);
+        assert_eq!(h.fraction(32), 0.5);
+        assert_eq!(h.fraction(128), 0.0);
+        assert_eq!(h.min_category(), Some(8));
+        assert_eq!(h.categories(), vec![8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let h = CategoricalHistogram::from_iter(0..100u32);
+        let sum: f64 = h.categories().iter().map(|&c| h.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h: CategoricalHistogram<u64> = CategoricalHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.fraction(1), 0.0);
+        assert_eq!(h.min_category(), None);
+    }
+}

@@ -1,0 +1,235 @@
+//! One-dimensional k-means clustering and silhouette scoring.
+//!
+//! The subarray reverse-engineering methodology (§5.4.1, Key Insight 1) clusters
+//! DRAM rows by row address and single-sided hammer reach using k-means, sweeping
+//! the number of clusters `k` and choosing the value that maximizes the silhouette
+//! score (Fig. 8). A one-dimensional implementation is sufficient because the
+//! clustering operates on row addresses of candidate boundary segments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster centroid positions, ascending.
+    pub centroids: Vec<f64>,
+    /// Cluster assignment of each input point (index into `centroids`).
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their assigned centroid.
+    pub inertia: f64,
+}
+
+/// Run k-means on 1-D data with k-means++-style seeding. Deterministic per seed.
+///
+/// Panics if `k` is 0 or larger than the number of points.
+pub fn kmeans_1d(points: &[f64], k: usize, seed: u64, max_iters: usize) -> KMeansResult {
+    assert!(k > 0 && k <= points.len(), "invalid k = {k} for {} points", points.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ initialization.
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())]);
+    while centroids.len() < k {
+        let dists: Vec<f64> = points
+            .iter()
+            .map(|&p| {
+                centroids
+                    .iter()
+                    .map(|&c| (p - c) * (p - c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = dists.iter().sum();
+        if total <= 0.0 {
+            // All remaining points coincide with existing centroids.
+            centroids.push(points[rng.random_range(0..points.len())]);
+            continue;
+        }
+        let mut target = rng.random::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, &d) in dists.iter().enumerate() {
+            if target <= d {
+                chosen = i;
+                break;
+            }
+            target -= d;
+        }
+        centroids.push(points[chosen]);
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    for _ in 0..max_iters {
+        // Assignment step.
+        let mut changed = false;
+        for (i, &p) in points.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    ((p - *a) * (p - *a)).partial_cmp(&((p - *b) * (p - *b))).unwrap()
+                })
+                .map(|(j, _)| j)
+                .unwrap();
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![0.0; k];
+        let mut counts = vec![0usize; k];
+        for (i, &p) in points.iter().enumerate() {
+            sums[assignments[i]] += p;
+            counts[assignments[i]] += 1;
+        }
+        for j in 0..k {
+            if counts[j] > 0 {
+                centroids[j] = sums[j] / counts[j] as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let c = centroids[assignments[i]];
+            (p - c) * (p - c)
+        })
+        .sum();
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+    }
+}
+
+/// Silhouette score of a 1-D clustering, in `[-1, 1]`; higher is better.
+///
+/// For each point, `a` is the mean distance to points of its own cluster and `b` the
+/// mean distance to points of the nearest other cluster; the silhouette is
+/// `(b - a) / max(a, b)`, averaged over all points. Singleton clusters score 0 for
+/// their point, and the function returns 0 when there are fewer than 2 clusters.
+pub fn silhouette_score_1d(points: &[f64], assignments: &[usize]) -> f64 {
+    assert_eq!(points.len(), assignments.len());
+    let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+    if k < 2 || points.len() < 2 {
+        return 0.0;
+    }
+    // Group points per cluster.
+    let mut clusters: Vec<Vec<f64>> = vec![Vec::new(); k];
+    for (i, &a) in assignments.iter().enumerate() {
+        clusters[a].push(points[i]);
+    }
+    let mut total = 0.0;
+    for (i, &p) in points.iter().enumerate() {
+        let own = &clusters[assignments[i]];
+        if own.len() <= 1 {
+            continue; // silhouette of a singleton is 0
+        }
+        let a = own
+            .iter()
+            .filter(|&&q| q != p || true)
+            .map(|&q| (p - q).abs())
+            .sum::<f64>()
+            / (own.len() - 1) as f64;
+        let b = clusters
+            .iter()
+            .enumerate()
+            .filter(|(j, c)| *j != assignments[i] && !c.is_empty())
+            .map(|(_, c)| c.iter().map(|&q| (p - q).abs()).sum::<f64>() / c.len() as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b).max(1e-12);
+        }
+    }
+    total / points.len() as f64
+}
+
+/// Sweep `k` over a range and return `(k, silhouette)` pairs, clustering with
+/// [`kmeans_1d`]. This is the Fig. 8 curve; the caller picks the argmax.
+pub fn silhouette_sweep(
+    points: &[f64],
+    k_range: std::ops::RangeInclusive<usize>,
+    seed: u64,
+) -> Vec<(usize, f64)> {
+    k_range
+        .filter(|&k| k >= 2 && k <= points.len())
+        .map(|k| {
+            let result = kmeans_1d(points, k, seed, 60);
+            (k, silhouette_score_1d(points, &result.assignments))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Vec<f64> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(0.0 + i as f64 * 0.01);
+            pts.push(10.0 + i as f64 * 0.01);
+            pts.push(20.0 + i as f64 * 0.01);
+        }
+        pts
+    }
+
+    #[test]
+    fn kmeans_recovers_well_separated_clusters() {
+        let pts = three_blobs();
+        let r = kmeans_1d(&pts, 3, 1, 100);
+        let mut centroids = r.centroids.clone();
+        centroids.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((centroids[0] - 0.1).abs() < 0.5);
+        assert!((centroids[1] - 10.1).abs() < 0.5);
+        assert!((centroids[2] - 20.1).abs() < 0.5);
+        assert!(r.inertia < 1.0);
+    }
+
+    #[test]
+    fn silhouette_peaks_at_true_k() {
+        let pts = three_blobs();
+        let sweep = silhouette_sweep(&pts, 2..=6, 3);
+        let best = sweep
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(best.0, 3, "sweep: {sweep:?}");
+        assert!(best.1 > 0.8);
+    }
+
+    #[test]
+    fn silhouette_is_low_for_overclustering() {
+        let pts = three_blobs();
+        let at3 = silhouette_sweep(&pts, 3..=3, 5)[0].1;
+        let at6 = silhouette_sweep(&pts, 6..=6, 5)[0].1;
+        assert!(at3 > at6);
+    }
+
+    #[test]
+    fn kmeans_is_deterministic_per_seed() {
+        let pts = three_blobs();
+        let a = kmeans_1d(&pts, 3, 7, 50);
+        let b = kmeans_1d(&pts, 3, 7, 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(silhouette_score_1d(&[1.0, 2.0], &[0, 0]), 0.0);
+        let r = kmeans_1d(&[5.0, 5.0, 5.0], 2, 1, 10);
+        assert_eq!(r.assignments.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn kmeans_rejects_k_larger_than_points() {
+        let _ = kmeans_1d(&[1.0, 2.0], 3, 1, 10);
+    }
+}

@@ -1,0 +1,28 @@
+//! Statistical machinery for the paper's characterization analysis (§5).
+//!
+//! Everything here is dependency-light, deterministic and generic over plain slices,
+//! so the same code serves the characterization pipeline, the experiment binaries
+//! and the test suites of other crates:
+//!
+//! * [`descriptive`] — means, coefficients of variation, quartiles and the
+//!   box-and-whiskers summaries used by Figs. 3 and 7;
+//! * [`histogram`] — categorical histograms over the tested hammer-count grid
+//!   (Fig. 5) and generic numeric binning;
+//! * [`kmeans`] — seeded k-means clustering plus the silhouette score used to pick
+//!   the number of subarrays (Fig. 8, §5.4.1 Key Insight 1);
+//! * [`classify`] — confusion matrices and F1 scores for the spatial-feature
+//!   correlation analysis (Fig. 9, Table 3);
+//! * [`features`] — expansion of a DRAM row's spatial coordinates into the per-bit
+//!   binary features the paper correlates against `HC_first`.
+
+pub mod classify;
+pub mod descriptive;
+pub mod features;
+pub mod histogram;
+pub mod kmeans;
+
+pub use classify::{binary_feature_f1, ConfusionMatrix};
+pub use descriptive::{coefficient_of_variation, mean, std_dev, BoxSummary};
+pub use features::{spatial_features, SpatialFeature};
+pub use histogram::CategoricalHistogram;
+pub use kmeans::{kmeans_1d, silhouette_score_1d, KMeansResult};

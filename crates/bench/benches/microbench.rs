@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks of the core data structures on the hot paths of the
+//! reproduction: profile generation, chip hammering, k-means clustering, the
+//! counting Bloom filter, the FR-FCFS memory system, and Svärd's bin-table lookup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use svard_analysis::kmeans::kmeans_1d;
+use svard_chip::{ChipConfig, SimChip};
+use svard_core::Svard;
+use svard_defenses::common::CountingBloomFilter;
+use svard_defenses::{DefenseKind, SharedThresholdProvider};
+use svard_dram::address::BankId;
+use svard_memsim::{MemoryConfig, MemoryRequest, MemorySystem};
+use svard_vulnerability::{ModuleSpec, ProfileGenerator};
+
+fn bench_profile_generation(c: &mut Criterion) {
+    c.bench_function("profile_generation_4k_rows", |b| {
+        b.iter(|| {
+            let spec = ModuleSpec::s0().scaled(4096);
+            black_box(ProfileGenerator::new(1).generate(&spec, 1))
+        })
+    });
+}
+
+fn bench_chip_hammer(c: &mut Criterion) {
+    let profile = ProfileGenerator::new(2).generate(&ModuleSpec::m0().scaled(1024), 1);
+    c.bench_function("chip_double_sided_hammer_128k", |b| {
+        let mut chip = SimChip::new(profile.clone(), ChipConfig::for_characterization(256));
+        b.iter(|| black_box(chip.hammer_double_sided(0, 500, 128 * 1024, 36.0).unwrap()))
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let points: Vec<f64> = (0..512).map(|i| (i / 16) as f64 * 100.0 + (i % 16) as f64).collect();
+    c.bench_function("kmeans_1d_512_points_k32", |b| {
+        b.iter(|| black_box(kmeans_1d(&points, 32, 7, 50)))
+    });
+}
+
+fn bench_bloom_filter(c: &mut Criterion) {
+    c.bench_function("counting_bloom_filter_insert", |b| {
+        let mut filter = CountingBloomFilter::new(16 * 1024, 4);
+        let mut row = 0usize;
+        b.iter(|| {
+            row = (row + 1) % 65_536;
+            black_box(filter.insert(BankId::default(), row))
+        })
+    });
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    c.bench_function("memsim_1k_random_reads", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::new(MemoryConfig::small(4096));
+            let mut addr = 0u64;
+            let mut issued = 0u64;
+            let mut done = 0usize;
+            while done < 1000 {
+                if issued < 1000 && mem.enqueue(MemoryRequest::read(issued, addr, 0)).is_ok() {
+                    issued += 1;
+                    addr = addr.wrapping_add(0x2_0040);
+                }
+                done += mem.tick().len();
+            }
+            black_box(done)
+        })
+    });
+}
+
+fn bench_svard_lookup(c: &mut Criterion) {
+    let profile = ProfileGenerator::new(3).generate(&ModuleSpec::s0().scaled(4096), 1);
+    let svard = Svard::build(&profile, 1024, 16);
+    let provider: SharedThresholdProvider = svard.provider();
+    c.bench_function("svard_victim_threshold_lookup", |b| {
+        let mut row = 0usize;
+        b.iter(|| {
+            row = (row + 97) % 4096;
+            black_box(provider.victim_threshold(BankId::default(), row))
+        })
+    });
+}
+
+fn bench_defense_activation(c: &mut Criterion) {
+    for kind in DefenseKind::ALL {
+        let provider: SharedThresholdProvider =
+            Arc::new(svard_defenses::provider::UniformThreshold::new(1024));
+        let mut defense = kind.build(provider, 4096, 1);
+        c.bench_function(&format!("defense_on_activation_{kind}"), |b| {
+            let mut row = 0usize;
+            let mut cycle = 0u64;
+            b.iter(|| {
+                row = (row + 13) % 4096;
+                cycle += 30;
+                black_box(defense.on_activation(BankId::default(), row, cycle))
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_profile_generation,
+    bench_chip_hammer,
+    bench_kmeans,
+    bench_bloom_filter,
+    bench_memory_system,
+    bench_svard_lookup,
+    bench_defense_activation
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 10: effect of 68 days of continuous hammering on the `HC_first` of module
+//! H3's rows, reported as the before/after transition matrix.
+
+use svard_bench::*;
+use svard_vulnerability::aging::{aging_transition_matrix, AgingModel};
+use svard_vulnerability::ModuleSpec;
+
+fn main() {
+    banner("Fig. 10", "HC_first before vs. after aging (module H3, 68 days)");
+    let rows = arg_usize("rows", DEFAULT_ROWS * 2);
+    let seed = arg_u64("seed", DEFAULT_SEED);
+    let days = arg_u64("days", 68) as f64;
+
+    let before = scaled_profile(&ModuleSpec::h3(), rows, 1, seed);
+    let after = AgingModel {
+        stress_days: days,
+        seed,
+    }
+    .apply(&before);
+    let matrix = aging_transition_matrix(&before, &after, 36.0);
+
+    header(&["hc_first_before", "hc_first_after", "fraction_of_rows"]);
+    for t in &matrix {
+        let before_label = t.before.map_or("no_flip".to_string(), |v| v.to_string());
+        let after_label = t.after.map_or("no_flip".to_string(), |v| v.to_string());
+        row(&[before_label, after_label, fmt(t.fraction)]);
+    }
+    let degraded: f64 = matrix
+        .iter()
+        .filter(|t| t.before != t.after)
+        .map(|t| t.fraction)
+        .sum();
+    eprintln!("# total off-diagonal (degraded) mass across columns: {degraded:.4}");
+}

@@ -1,0 +1,69 @@
+//! Fig. 12: performance of AQUA, BlockHammer, Hydra, PARA and RRS with and without
+//! Svärd, sweeping the worst-case `HC_first` from 4K down to 64, reported as
+//! weighted speedup, harmonic speedup and maximum slowdown normalized to the
+//! no-defense baseline.
+//!
+//! Defaults are scaled down (see `DESIGN.md`): pass `--mixes`, `--instructions`,
+//! `--rows` and `--hc-values` to scale up towards the paper's configuration.
+
+use svard_bench::*;
+use svard_core::Svard;
+use svard_cpusim::workload::WorkloadMix;
+use svard_defenses::provider::SharedThresholdProvider;
+use svard_defenses::DefenseKind;
+use svard_system::{EvaluationHarness, SystemConfig};
+use svard_vulnerability::ModuleSpec;
+
+fn main() {
+    banner("Fig. 12", "defense overheads with and without Svärd");
+    let mixes = arg_usize("mixes", 3);
+    let instructions = arg_u64("instructions", 30_000);
+    let rows = arg_usize("rows", 1024);
+    let seed = arg_u64("seed", DEFAULT_SEED);
+    let hc_values: Vec<u64> = arg_string("hc-values")
+        .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
+        .unwrap_or_else(|| vec![4096, 1024, 256, 64]);
+
+    let mut config = SystemConfig::table4_scaled().with_instructions(instructions);
+    config.memory.geometry.rows_per_bank = rows;
+    config.seed = seed;
+    if arg_flag("print-config") {
+        eprintln!("# Table 4 configuration (scaled): {config:?}");
+    }
+
+    let workload_mixes = WorkloadMix::generate(mixes, config.cores, seed);
+    eprintln!("# preparing harness: {} mixes x {} cores x {} instructions", mixes, config.cores, instructions);
+    let harness = EvaluationHarness::new(config, workload_mixes);
+
+    // Per-manufacturer Svärd profiles (S0, M0, H1), plus the No-Svärd baseline.
+    let profiles: Vec<_> = ["S0", "M0", "H1"]
+        .iter()
+        .map(|label| (label.to_string(), scaled_profile(&ModuleSpec::by_label(label).unwrap(), rows, 1, seed)))
+        .collect();
+
+    header(&[
+        "defense", "provider", "hc_first", "weighted_speedup", "harmonic_speedup", "max_slowdown",
+    ]);
+    for defense in DefenseKind::ALL {
+        for &hc in &hc_values {
+            let mut configurations: Vec<(String, SharedThresholdProvider)> = Vec::new();
+            let reference = Svard::build(&profiles[0].1, hc, 16);
+            configurations.push(("No Svärd".to_string(), reference.baseline_provider()));
+            for (label, profile) in &profiles {
+                let svard = Svard::build(profile, hc, 16);
+                configurations.push((format!("Svärd-{label}"), svard.provider()));
+            }
+            for (name, provider) in configurations {
+                let point = harness.evaluate(defense, provider, hc);
+                row(&[
+                    defense.to_string(),
+                    name,
+                    hc.to_string(),
+                    fmt(point.normalized.weighted_speedup),
+                    fmt(point.normalized.harmonic_speedup),
+                    fmt(point.normalized.max_slowdown),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Fig. 13: slowdown of Hydra and RRS under adversarial access patterns at a
+//! worst-case `HC_first` of 64, with and without Svärd, normalized to the
+//! no-Svärd slowdown.
+
+use svard_bench::*;
+use svard_core::Svard;
+use svard_cpusim::workload::{WorkloadMix, WorkloadSpec};
+use svard_defenses::provider::SharedThresholdProvider;
+use svard_defenses::DefenseKind;
+use svard_system::{EvaluationHarness, SystemConfig};
+use svard_vulnerability::ModuleSpec;
+
+fn main() {
+    banner("Fig. 13", "adversarial access patterns vs. Hydra and RRS at HC_first = 64");
+    let instructions = arg_u64("instructions", 20_000);
+    let rows = arg_usize("rows", 1024);
+    let seed = arg_u64("seed", DEFAULT_SEED);
+    let hc = arg_u64("hc", 64);
+
+    let mut config = SystemConfig::table4_scaled().with_instructions(instructions);
+    config.memory.geometry.rows_per_bank = rows;
+    config.seed = seed;
+
+    header(&["defense", "provider", "slowdown_norm_to_no_svard"]);
+    for (defense, adversary) in [
+        (DefenseKind::Hydra, WorkloadSpec::adversarial_hydra()),
+        (DefenseKind::Rrs, WorkloadSpec::adversarial_rrs()),
+    ] {
+        let mix = WorkloadMix::adversarial(adversary, config.cores);
+        let harness = EvaluationHarness::new(config.clone(), vec![mix]);
+
+        let mut slowdowns: Vec<(String, f64)> = Vec::new();
+        let reference = Svard::build(&scaled_profile(&ModuleSpec::s0(), rows, 1, seed), hc, 16);
+        let mut configurations: Vec<(String, SharedThresholdProvider)> =
+            vec![("No Svärd".into(), reference.baseline_provider())];
+        for label in ["S0", "M0", "H1"] {
+            let profile = scaled_profile(&ModuleSpec::by_label(label).unwrap(), rows, 1, seed);
+            configurations.push((format!("Svärd-{label}"), Svard::build(&profile, hc, 16).provider()));
+        }
+        for (name, provider) in configurations {
+            let point = harness.evaluate(defense, provider, hc);
+            // "Slowdown" in Fig. 13 is the performance loss vs. the unprotected
+            // baseline; use the inverse of normalized weighted speedup.
+            let slowdown = 1.0 / point.normalized.weighted_speedup.max(1e-6);
+            slowdowns.push((name, slowdown));
+        }
+        let no_svard = slowdowns[0].1;
+        for (name, slowdown) in slowdowns {
+            row(&[defense.to_string(), name, fmt(slowdown / no_svard)]);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Fig. 3: distribution of per-row BER across DRAM rows and banks, per module, with
+//! the coefficient of variation annotated.
+
+use svard_analysis::descriptive::BoxSummary;
+use svard_bench::*;
+use svard_bender::CharacterizationConfig;
+use svard_vulnerability::ModuleSpec;
+
+fn main() {
+    banner("Fig. 3", "BER distribution across rows and banks (box plots + CV)");
+    let rows = arg_usize("rows", DEFAULT_ROWS);
+    let banks = arg_usize("banks", DEFAULT_BANKS);
+    let stride = arg_usize("stride", DEFAULT_STRIDE);
+    let seed = arg_u64("seed", DEFAULT_SEED);
+    let modules: Vec<ModuleSpec> = match arg_string("module") {
+        Some(label) => vec![ModuleSpec::by_label(&label).expect("unknown module label")],
+        None => ModuleSpec::representative(),
+    };
+
+    header(&[
+        "module", "bank", "ber_min", "ber_q1", "ber_median", "ber_q3", "ber_max", "ber_mean", "cv",
+    ]);
+    for spec in modules {
+        let mut infra = scaled_infrastructure(&spec, rows, banks, seed);
+        let config = CharacterizationConfig::paper().with_stride(stride);
+        let bank_list: Vec<usize> = (0..banks).collect();
+        let result = infra.characterize_module(&bank_list, &config);
+        for bank in &result.banks {
+            let bers = bank.ber_values();
+            let summary = BoxSummary::of(&bers);
+            row(&[
+                spec.label.to_string(),
+                bank.bank.to_string(),
+                fmt(summary.min),
+                fmt(summary.q1),
+                fmt(summary.median),
+                fmt(summary.q3),
+                fmt(summary.max),
+                fmt(summary.mean),
+                fmt(bank.ber_cv()),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Fig. 4: BER at HC = 128K as a function of the row's relative location within the
+//! bank, normalized to the minimum observed BER.
+
+use svard_analysis::descriptive::normalize_to_min;
+use svard_bench::*;
+use svard_bender::CharacterizationConfig;
+use svard_vulnerability::ModuleSpec;
+
+fn main() {
+    banner("Fig. 4", "normalized BER vs. relative row location");
+    let rows = arg_usize("rows", DEFAULT_ROWS);
+    let stride = arg_usize("stride", DEFAULT_STRIDE);
+    let seed = arg_u64("seed", DEFAULT_SEED);
+    let buckets = arg_usize("buckets", 20);
+
+    header(&["module", "relative_location", "normalized_ber"]);
+    for spec in ModuleSpec::representative() {
+        let mut infra = scaled_infrastructure(&spec, rows, 1, seed);
+        let config = CharacterizationConfig::paper().with_stride(stride);
+        let bank = infra.characterize_bank(0, &config);
+        let bers = normalize_to_min(&bank.ber_values());
+        // Average into location buckets so the output is a readable curve.
+        let per_bucket = (bers.len() / buckets).max(1);
+        for b in 0..buckets {
+            let start = b * per_bucket;
+            let end = ((b + 1) * per_bucket).min(bers.len());
+            if start >= end {
+                break;
+            }
+            let mean = bers[start..end].iter().sum::<f64>() / (end - start) as f64;
+            let loc = (b as f64 + 0.5) / buckets as f64;
+            row(&[spec.label.to_string(), fmt(loc), fmt(mean)]);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Fig. 5: distribution of `HC_first` across DRAM rows per module (fraction of rows
+//! at each tested hammer count).
+
+use svard_analysis::CategoricalHistogram;
+use svard_bench::*;
+use svard_bender::CharacterizationConfig;
+use svard_vulnerability::ModuleSpec;
+
+fn main() {
+    banner("Fig. 5", "HC_first distribution across rows");
+    let rows = arg_usize("rows", DEFAULT_ROWS);
+    let stride = arg_usize("stride", DEFAULT_STRIDE);
+    let seed = arg_u64("seed", DEFAULT_SEED);
+
+    header(&["module", "hc_first", "fraction_of_rows"]);
+    for spec in ModuleSpec::representative() {
+        let mut infra = scaled_infrastructure(&spec, rows, 1, seed);
+        let config = CharacterizationConfig::paper().with_stride(stride);
+        let bank = infra.characterize_bank(0, &config);
+        let histogram = CategoricalHistogram::from_iter(bank.hc_first_values());
+        for hc in histogram.categories() {
+            row(&[
+                spec.label.to_string(),
+                hc.to_string(),
+                fmt(histogram.fraction(hc)),
+            ]);
+        }
+        eprintln!(
+            "# {}: minimum observed HC_first = {:?}",
+            spec.label,
+            histogram.min_category()
+        );
+    }
+}

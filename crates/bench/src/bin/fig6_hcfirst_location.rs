@@ -1,0 +1,34 @@
+//! Fig. 6: `HC_first`, normalized to the module minimum, as a function of the row's
+//! relative location in the bank (demonstrating the *irregular* variation of
+//! Obsvs. 8-9).
+
+use svard_bench::*;
+use svard_bender::CharacterizationConfig;
+use svard_vulnerability::ModuleSpec;
+
+fn main() {
+    banner("Fig. 6", "normalized HC_first vs. relative row location");
+    let rows = arg_usize("rows", DEFAULT_ROWS);
+    let stride = arg_usize("stride", DEFAULT_STRIDE.max(8));
+    let seed = arg_u64("seed", DEFAULT_SEED);
+
+    header(&["module", "relative_location", "normalized_hc_first"]);
+    for spec in ModuleSpec::representative() {
+        let mut infra = scaled_infrastructure(&spec, rows, 1, seed);
+        let config = CharacterizationConfig::paper().with_stride(stride);
+        let bank = infra.characterize_bank(0, &config);
+        let values: Vec<(usize, u64)> = bank
+            .rows
+            .iter()
+            .filter_map(|r| r.hc_first.map(|hc| (r.row, hc)))
+            .collect();
+        let min = values.iter().map(|&(_, hc)| hc).min().unwrap_or(1) as f64;
+        for (r, hc) in values {
+            row(&[
+                spec.label.to_string(),
+                fmt(r as f64 / rows as f64),
+                fmt(hc as f64 / min),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Fig. 7: effect of the aggressor row's on-time (`tAggOn`) on the `HC_first`
+//! distribution — the RowPress effect.
+
+use svard_analysis::descriptive::BoxSummary;
+use svard_bench::*;
+use svard_bender::CharacterizationConfig;
+use svard_dram::T_AGG_ON_GRID_NS;
+use svard_vulnerability::ModuleSpec;
+
+fn main() {
+    banner("Fig. 7", "HC_first vs. aggressor on-time (RowPress)");
+    let rows = arg_usize("rows", DEFAULT_ROWS / 2);
+    let stride = arg_usize("stride", DEFAULT_STRIDE.max(8));
+    let seed = arg_u64("seed", DEFAULT_SEED);
+
+    header(&[
+        "manufacturer", "module", "t_agg_on_ns", "hc_first_q1", "hc_first_median",
+        "hc_first_q3", "hc_first_mean", "cv",
+    ]);
+    for spec in ModuleSpec::representative() {
+        for &t_agg_on in &T_AGG_ON_GRID_NS {
+            let mut infra = scaled_infrastructure(&spec, rows, 1, seed);
+            let config = CharacterizationConfig::quick()
+                .with_stride(stride)
+                .with_t_agg_on(t_agg_on);
+            let bank = infra.characterize_bank(0, &config);
+            let values: Vec<f64> = bank.hc_first_values().iter().map(|&v| v as f64).collect();
+            if values.is_empty() {
+                continue;
+            }
+            let summary = BoxSummary::of(&values);
+            let cv = svard_analysis::coefficient_of_variation(&values);
+            row(&[
+                spec.manufacturer.to_string(),
+                spec.label.to_string(),
+                fmt(t_agg_on),
+                fmt(summary.q1),
+                fmt(summary.median),
+                fmt(summary.q3),
+                fmt(summary.mean),
+                fmt(cv),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Fig. 8: silhouette score of clustering DRAM rows into subarrays as a function of
+//! the assumed number of clusters `k`, plus the recovered subarray structure.
+
+use svard_bench::*;
+use svard_bender::reverse_engineer_subarrays;
+use svard_vulnerability::ModuleSpec;
+
+fn main() {
+    banner("Fig. 8", "silhouette score vs. k for subarray reverse engineering");
+    let rows = arg_usize("rows", 512);
+    let seed = arg_u64("seed", DEFAULT_SEED);
+
+    header(&["module", "k", "silhouette_score"]);
+    for spec in ModuleSpec::representative() {
+        let mut infra = scaled_infrastructure(&spec, rows, 1, seed);
+        let truth = infra.chip().profile().bank(0).subarrays().clone();
+        let result = reverse_engineer_subarrays(&mut infra, 0, 0, seed);
+        for (k, score) in &result.silhouette_curve {
+            row(&[spec.label.to_string(), k.to_string(), fmt(*score)]);
+        }
+        eprintln!(
+            "# {}: inferred {} subarrays (ground truth {}), boundary accuracy {:.2}, {} candidates invalidated by RowClone",
+            spec.label,
+            result.num_subarrays(),
+            truth.num_subarrays(),
+            result.accuracy_against(&truth),
+            result.invalidated.len(),
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Fig. 9 / Table 3: fraction of spatial features whose F1 score (predicting
+//! `HC_first` from a single binary feature) exceeds a sweep of thresholds, and the
+//! list of features with F1 > 0.7.
+
+use svard_analysis::classify::binary_feature_f1;
+use svard_analysis::features::{feature_vector, spatial_features, RowCoordinates};
+use svard_bench::*;
+use svard_vulnerability::ModuleSpec;
+
+fn main() {
+    banner("Fig. 9 / Table 3", "spatial-feature correlation with HC_first");
+    let rows = arg_usize("rows", DEFAULT_ROWS);
+    let seed = arg_u64("seed", DEFAULT_SEED);
+
+    header(&["module", "f1_threshold", "fraction_of_features"]);
+    let mut table3: Vec<String> = Vec::new();
+    for spec in ModuleSpec::all() {
+        let profile = scaled_profile(&spec, rows, 1, seed);
+        let subarrays = profile.bank(0).subarrays().clone();
+        let coordinates: Vec<RowCoordinates> = (0..rows)
+            .map(|r| RowCoordinates {
+                bank: 0,
+                row: r,
+                subarray: subarrays.subarray_of(r),
+                distance_to_sense_amps: subarrays.distance_to_sense_amps(r),
+            })
+            .collect();
+        let labels: Vec<u64> = (0..rows)
+            .map(|r| profile.hc_first(0, r, 36.0).unwrap_or(256 * 1024))
+            .collect();
+        let row_bits = (usize::BITS - (rows - 1).leading_zeros()).min(17);
+        let sa_bits = (usize::BITS - (subarrays.num_subarrays().max(2) - 1).leading_zeros()).min(8);
+        let features = spatial_features(2, row_bits, sa_bits, 8);
+        let scores: Vec<(String, f64)> = features
+            .iter()
+            .map(|f| {
+                let vector = feature_vector(f, &coordinates);
+                (f.name(), binary_feature_f1(&vector, &labels))
+            })
+            .collect();
+        for threshold in (0..=10).map(|t| t as f64 / 10.0) {
+            let fraction =
+                scores.iter().filter(|(_, s)| *s >= threshold).count() as f64 / scores.len() as f64;
+            row(&[spec.label.to_string(), fmt(threshold), fmt(fraction)]);
+        }
+        for (name, score) in &scores {
+            if *score > 0.7 {
+                table3.push(format!("{},{},{:.3}", spec.label, name, score));
+            }
+        }
+    }
+    eprintln!("# Table 3: features with F1 > 0.7 (module,feature,f1)");
+    for line in table3 {
+        eprintln!("# {line}");
+    }
+}

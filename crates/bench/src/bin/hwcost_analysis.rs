@@ -1,0 +1,38 @@
+//! §6.4: hardware complexity of storing the read-disturbance vulnerability profile,
+//! for both the memory-controller-table and in-DRAM-metadata options.
+
+use svard_bench::{arg_u64, banner, fmt, header, row};
+use svard_core::HardwareCostModel;
+
+fn main() {
+    banner("Section 6.4", "metadata storage area / latency / capacity overheads");
+    let mut model = HardwareCostModel::paper_configuration();
+    model.rows_per_bank = arg_u64("rows-per-bank", model.rows_per_bank);
+    model.bits_per_row = arg_u64("bits-per-row", model.bits_per_row);
+
+    let table = model.controller_table();
+    let dram = model.in_dram_metadata();
+    header(&["option", "bits_per_bank", "area_per_bank_mm2", "total_area_mm2", "cpu_die_fraction", "access_ns", "dram_overhead_fraction"]);
+    row(&[
+        "controller_table".into(),
+        table.bits_per_bank.to_string(),
+        fmt(table.table_area_per_bank_mm2),
+        fmt(table.total_table_area_mm2),
+        fmt(table.fraction_of_cpu_die),
+        fmt(table.access_latency_ns),
+        fmt(table.dram_overhead_fraction),
+    ]);
+    row(&[
+        "in_dram_metadata".into(),
+        dram.bits_per_bank.to_string(),
+        fmt(dram.table_area_per_bank_mm2),
+        fmt(dram.total_table_area_mm2),
+        fmt(dram.fraction_of_cpu_die),
+        fmt(dram.access_latency_ns),
+        format!("{:.6}", dram.dram_overhead_fraction),
+    ]);
+    eprintln!(
+        "# controller-table lookup hidden under row activation: {}",
+        model.lookup_is_hidden()
+    );
+}

@@ -1,0 +1,38 @@
+//! Table 5: characteristics of the tested DDR4 modules and their min/avg/max
+//! `HC_first`, regenerated from the calibrated module specs and the generated
+//! vulnerability profiles.
+
+use svard_bench::{arg_u64, arg_usize, banner, fmt, header, row, scaled_profile, DEFAULT_ROWS, DEFAULT_SEED};
+use svard_vulnerability::ModuleSpec;
+
+fn main() {
+    banner("Table 5", "tested modules and per-module HC_first statistics");
+    let rows = arg_usize("rows", DEFAULT_ROWS);
+    let seed = arg_u64("seed", DEFAULT_SEED);
+    header(&[
+        "module", "vendor", "density_gbit", "die_rev", "org", "rows_per_bank",
+        "hc_first_min", "hc_first_avg", "hc_first_max",
+        "generated_min", "generated_avg", "generated_max",
+    ]);
+    for spec in ModuleSpec::all() {
+        let profile = scaled_profile(&spec, rows, 1, seed);
+        let values: Vec<f64> = (0..rows).map(|r| profile.true_threshold(0, r)).collect();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(0.0f64, f64::max);
+        let avg = values.iter().sum::<f64>() / values.len() as f64;
+        row(&[
+            spec.label.to_string(),
+            spec.manufacturer.to_string(),
+            spec.density_gbit.to_string(),
+            spec.die_revision.to_string(),
+            format!("x{}", spec.organization),
+            spec.rows_per_bank.to_string(),
+            spec.hc_first_min.to_string(),
+            spec.hc_first_avg.to_string(),
+            spec.hc_first_max.to_string(),
+            fmt(min),
+            fmt(avg),
+            fmt(max),
+        ]);
+    }
+}

@@ -1,0 +1,46 @@
+//! A DRAM-Bender-like testing infrastructure for read-disturbance characterization.
+//!
+//! The paper drives real DDR4 modules through an FPGA programmed with DRAM Bender,
+//! with heater pads and a PID temperature controller keeping the chips at 80 °C
+//! (§4.1, Fig. 2). This crate reproduces that infrastructure against the behavioural
+//! chip model of `svard-chip`:
+//!
+//! * [`infrastructure::TestInfrastructure`] — the "FPGA + host + heaters" bundle:
+//!   owns a [`svard_chip::SimChip`], a simulated temperature controller, and the
+//!   interference-elimination measures of §4.1 (refresh disabled, retention-window
+//!   guard, worst-case recording across iterations);
+//! * [`testprog`] — explicit DDR4 command-stream builders for the routines of
+//!   Algorithm 1 (`hammer_doublesided`, row initialization, read-back);
+//! * [`characterize`] — the characterization campaign itself: worst-case data
+//!   pattern search, hammer-count sweeps, `HC_first` and BER extraction per row,
+//!   and the full §4.3 test loop over `tAggOn` values and banks;
+//! * [`reverse`] — the §5.4.1 reverse engineering of subarray boundaries from
+//!   single-sided hammer reach, k-means clustering with silhouette scoring, and
+//!   RowClone-based invalidation.
+//!
+//! # Example
+//!
+//! ```
+//! use svard_bender::{CharacterizationConfig, TestInfrastructure};
+//! use svard_chip::{ChipConfig, SimChip};
+//! use svard_vulnerability::{ModuleSpec, ProfileGenerator};
+//!
+//! let profile = ProfileGenerator::new(1).generate(&ModuleSpec::m0().scaled(128), 1);
+//! let chip = SimChip::new(profile, ChipConfig::for_characterization(128));
+//! let mut infra = TestInfrastructure::new(chip);
+//! let config = CharacterizationConfig::quick();
+//! let result = infra.characterize_row(0, 64, &config);
+//! assert!(result.ber_at_max_hc >= 0.0);
+//! ```
+
+pub mod characterize;
+pub mod infrastructure;
+pub mod reverse;
+pub mod testprog;
+
+pub use characterize::{
+    BankCharacterization, CharacterizationConfig, ModuleCharacterization, RowCharacterization,
+};
+pub use infrastructure::{TemperatureController, TestInfrastructure};
+pub use reverse::{reverse_engineer_subarrays, SubarrayReverseEngineering};
+pub use testprog::TestProgram;

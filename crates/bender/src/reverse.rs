@@ -1,0 +1,271 @@
+//! Reverse engineering of the subarray structure of a DRAM bank (§5.4.1).
+//!
+//! The paper combines two observables:
+//!
+//! * **Key Insight 1** — a row at a subarray boundary can only be disturbed from one
+//!   side, so single-sided hammering reveals boundary rows; k-means clustering over
+//!   the resulting evidence, with the silhouette score choosing the number of
+//!   clusters, estimates the number and location of subarray boundaries (Fig. 8).
+//! * **Key Insight 2** — intra-subarray RowClone succeeds only when source and
+//!   destination share local bitlines, so a *successful* RowClone across a candidate
+//!   boundary invalidates that boundary.
+
+use svard_analysis::kmeans::{kmeans_1d, silhouette_score_1d};
+use svard_vulnerability::SubarrayMap;
+
+use crate::infrastructure::TestInfrastructure;
+
+/// Output of the subarray reverse-engineering procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubarrayReverseEngineering {
+    /// Rows observed to have a single-sided disturbance footprint (boundary
+    /// evidence), ascending.
+    pub boundary_evidence: Vec<usize>,
+    /// Silhouette score for each candidate cluster count `k` (the Fig. 8 curve).
+    pub silhouette_curve: Vec<(usize, f64)>,
+    /// The chosen number of evidence clusters (argmax of the silhouette curve).
+    pub chosen_k: usize,
+    /// Candidate subarray start rows derived from the evidence clusters.
+    pub candidate_starts: Vec<usize>,
+    /// Candidate boundaries invalidated by a successful RowClone across them.
+    pub invalidated: Vec<usize>,
+    /// The final inferred subarray map.
+    pub inferred: SubarrayMap,
+}
+
+impl SubarrayReverseEngineering {
+    /// Number of subarrays in the inferred map.
+    pub fn num_subarrays(&self) -> usize {
+        self.inferred.num_subarrays()
+    }
+
+    /// Fraction of the inferred subarray start rows that match the ground-truth map
+    /// (1.0 = perfect recovery). Useful for validation experiments.
+    pub fn accuracy_against(&self, truth: &SubarrayMap) -> f64 {
+        let truth_starts: std::collections::BTreeSet<usize> = truth.boundary_rows().collect();
+        let inferred: Vec<usize> = self.inferred.boundary_rows().collect();
+        if inferred.is_empty() {
+            return 0.0;
+        }
+        let hits = inferred.iter().filter(|r| truth_starts.contains(r)).count();
+        hits as f64 / inferred.len().max(truth_starts.len()) as f64
+    }
+}
+
+/// Reverse engineer the subarray boundaries of one bank.
+///
+/// `hammer_count` is the per-aggressor activation count used for the single-sided
+/// probe; it must be large enough to flip a neighbour from one side only (roughly
+/// twice the worst-case `HC_first`), which the function ensures by clamping to
+/// 4× the largest tested hammer count.
+pub fn reverse_engineer_subarrays(
+    infra: &mut TestInfrastructure,
+    bank: usize,
+    hammer_count: u64,
+    seed: u64,
+) -> SubarrayReverseEngineering {
+    let rows = infra.chip().rows_per_bank();
+    let hammer_count = hammer_count.max(4 * 128 * 1024);
+
+    // --- Key Insight 1: single-sided disturbance footprint of every row. ---------
+    let mut boundary_evidence = Vec::new();
+    for row in 0..rows {
+        let victims = probe_single_sided(infra, bank, row, hammer_count);
+        let expected: usize = usize::from(row > 0) + usize::from(row + 1 < rows);
+        if victims < expected.min(2) && row > 0 && row + 1 < rows {
+            // The row disturbed fewer neighbours than its position allows: it sits at
+            // a subarray boundary.
+            boundary_evidence.push(row);
+        }
+    }
+
+    // --- Cluster the evidence, sweeping k and scoring with the silhouette. -------
+    let points: Vec<f64> = boundary_evidence.iter().map(|&r| r as f64).collect();
+    let mut silhouette_curve = Vec::new();
+    let mut best = (1usize, f64::NEG_INFINITY);
+    if points.len() >= 2 {
+        let k_max = points.len();
+        for k in 2..=k_max {
+            let clustering = kmeans_1d(&points, k, seed, 50);
+            let score = silhouette_score_1d(&points, &clustering.assignments);
+            silhouette_curve.push((k, score));
+            if score > best.1 {
+                best = (k, score);
+            }
+        }
+    }
+    let chosen_k = best.0.max(1);
+
+    // Each evidence cluster corresponds to one internal boundary: the cluster's
+    // minimum row is the last row of the lower subarray (its upper neighbour is
+    // missing), so the upper subarray starts right after it. Derive candidate
+    // start rows.
+    let mut candidate_starts: Vec<usize> = vec![0];
+    if points.len() >= 2 {
+        let clustering = kmeans_1d(&points, chosen_k, seed, 50);
+        let mut per_cluster_min: Vec<Option<usize>> = vec![None; chosen_k];
+        for (i, &assignment) in clustering.assignments.iter().enumerate() {
+            let row = boundary_evidence[i];
+            per_cluster_min[assignment] =
+                Some(per_cluster_min[assignment].map_or(row, |m: usize| m.min(row)));
+        }
+        for min_row in per_cluster_min.into_iter().flatten() {
+            let start = min_row + 1;
+            if start < rows {
+                candidate_starts.push(start);
+            }
+        }
+    } else {
+        // Too little evidence for clustering: use the evidence rows directly.
+        for &row in &boundary_evidence {
+            if row + 1 < rows {
+                candidate_starts.push(row + 1);
+            }
+        }
+    }
+    candidate_starts.sort_unstable();
+    candidate_starts.dedup();
+
+    // --- Key Insight 2: RowClone across each candidate boundary. -----------------
+    let mut invalidated = Vec::new();
+    let mut validated_starts = vec![0usize];
+    for &start in candidate_starts.iter().filter(|&&s| s > 0) {
+        let below = start - 1;
+        // A successful copy across the boundary proves both rows share a subarray,
+        // invalidating the boundary. RowClone is unreliable, so failure keeps the
+        // candidate (it never *proves* a boundary).
+        let crossed = infra
+            .chip_mut()
+            .attempt_rowclone(bank, below, start)
+            .unwrap_or(false);
+        if crossed {
+            invalidated.push(start);
+        } else {
+            validated_starts.push(start);
+        }
+    }
+
+    let inferred = SubarrayMap::from_starts(validated_starts, rows);
+    SubarrayReverseEngineering {
+        boundary_evidence,
+        silhouette_curve,
+        chosen_k,
+        candidate_starts,
+        invalidated,
+        inferred,
+    }
+}
+
+/// Probe how many rows a single-sided hammer of `row` disturbs, by checking its two
+/// potential neighbours for bitflips.
+fn probe_single_sided(
+    infra: &mut TestInfrastructure,
+    bank: usize,
+    row: usize,
+    hammer_count: u64,
+) -> usize {
+    let rows = infra.chip().rows_per_bank();
+    let chip = infra.chip_mut();
+    let mut potential: Vec<usize> = Vec::with_capacity(2);
+    if row > 0 {
+        potential.push(row - 1);
+    }
+    if row + 1 < rows {
+        potential.push(row + 1);
+    }
+    for &victim in &potential {
+        chip.fill_row(bank, victim, 0x00).expect("victim in range");
+    }
+    chip.fill_row(bank, row, 0xFF).expect("aggressor in range");
+    chip.hammer_single_sided(bank, row, hammer_count, 36.0)
+        .expect("hammer in range");
+    potential
+        .into_iter()
+        .filter(|&victim| {
+            chip.count_bitflips(bank, victim, 0x00)
+                .map(|flips| flips > 0)
+                .unwrap_or(false)
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svard_chip::{ChipConfig, SimChip};
+    use svard_vulnerability::{ModuleSpec, ProfileGenerator};
+
+    fn infra(rows: usize, seed: u64) -> TestInfrastructure {
+        let spec = ModuleSpec::s0().scaled(rows);
+        let profile = ProfileGenerator::new(seed).generate(&spec, 1);
+        TestInfrastructure::new(SimChip::new(profile, ChipConfig::for_characterization(64)))
+    }
+
+    #[test]
+    fn recovers_the_ground_truth_subarray_count() {
+        let mut infra = infra(256, 3);
+        let truth = infra.chip().profile().bank(0).subarrays().clone();
+        let result = reverse_engineer_subarrays(&mut infra, 0, 0, 7);
+        assert_eq!(
+            result.num_subarrays(),
+            truth.num_subarrays(),
+            "evidence: {:?}",
+            result.boundary_evidence
+        );
+        assert!(result.accuracy_against(&truth) > 0.9);
+    }
+
+    #[test]
+    fn silhouette_curve_peaks_at_the_boundary_count() {
+        let mut infra = infra(192, 5);
+        let truth = infra.chip().profile().bank(0).subarrays().clone();
+        let result = reverse_engineer_subarrays(&mut infra, 0, 0, 11);
+        // chosen_k clusters of boundary evidence = number of internal boundaries.
+        assert_eq!(result.chosen_k, truth.num_subarrays() - 1);
+        // The curve contains the chosen k with the maximal score.
+        let max = result
+            .silhouette_curve
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(max.0, result.chosen_k);
+    }
+
+    #[test]
+    fn boundary_evidence_rows_are_true_boundary_rows() {
+        let mut infra = infra(160, 9);
+        let truth = infra.chip().profile().bank(0).subarrays().clone();
+        let result = reverse_engineer_subarrays(&mut infra, 0, 0, 1);
+        for &row in &result.boundary_evidence {
+            assert!(truth.is_boundary_row(row), "row {row} is not a boundary row");
+        }
+    }
+
+    #[test]
+    fn evidence_is_absent_in_a_single_subarray_bank() {
+        // A bank whose subarray map is one big subarray yields no internal evidence.
+        use svard_vulnerability::profile::{BankProfile, ModuleVulnerabilityProfile, RowProfile};
+        let rows = 64;
+        let spec = ModuleSpec::s0().scaled(rows);
+        let row_profiles: Vec<RowProfile> = (0..rows)
+            .map(|_| RowProfile {
+                true_threshold: 40_000.0,
+                ber_at_128k: 0.01,
+                ber_growth_exponent: 1.2,
+            })
+            .collect();
+        let map = SubarrayMap::from_starts(vec![0], rows);
+        let profile = ModuleVulnerabilityProfile::new(
+            spec,
+            1,
+            vec![BankProfile::new(row_profiles, map.clone())],
+        );
+        let mut infra =
+            TestInfrastructure::new(SimChip::new(profile, ChipConfig::for_characterization(64)));
+        let result = reverse_engineer_subarrays(&mut infra, 0, 0, 2);
+        assert!(result.boundary_evidence.is_empty());
+        assert_eq!(result.num_subarrays(), 1);
+        assert!((result.accuracy_against(&map) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+//! Explicit DDR4 command-stream builders for the routines of Algorithm 1.
+//!
+//! The fast-path characterization uses `SimChip::hammer_double_sided` for speed, but
+//! the command-level programs here are the ground truth of what a DRAM Bender test
+//! program actually issues; tests verify the two paths agree.
+
+use svard_dram::{DramAddress, DramCommand, TimingParams};
+
+/// A sequence of DDR4 commands with a precomputed duration, i.e. a DRAM Bender test
+/// program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestProgram {
+    commands: Vec<DramCommand>,
+    duration_ns: f64,
+}
+
+impl TestProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self {
+            commands: Vec::new(),
+            duration_ns: 0.0,
+        }
+    }
+
+    /// The commands of the program, in issue order.
+    pub fn commands(&self) -> &[DramCommand] {
+        &self.commands
+    }
+
+    /// Total execution time of the program in nanoseconds.
+    pub fn duration_ns(&self) -> f64 {
+        self.duration_ns
+    }
+
+    /// Number of `ACT` commands in the program.
+    pub fn activation_count(&self) -> u64 {
+        self.commands.iter().filter(|c| c.is_activate()).count() as u64
+    }
+
+    fn push(&mut self, cmd: DramCommand, cost_ns: f64) {
+        self.commands.push(cmd);
+        self.duration_ns += cost_ns;
+    }
+
+    /// Append the paper's `hammer_doublesided(RAvictim, HC, tAggOn)` routine:
+    /// `HC` iterations of ACT(victim+1), WAIT(tAggOn), PRE, WAIT(tRP),
+    /// ACT(victim−1), WAIT(tAggOn), PRE, WAIT(tRP).
+    pub fn hammer_doublesided(
+        &mut self,
+        victim: &DramAddress,
+        hammer_count: u64,
+        t_agg_on_ns: f64,
+        timing: &TimingParams,
+    ) {
+        let t_rp_ns = timing.t_rp_ps as f64 / 1000.0;
+        let upper = victim.with_row(victim.row + 1);
+        let lower = victim.with_row(victim.row.saturating_sub(1));
+        for _ in 0..hammer_count {
+            for aggressor in [&upper, &lower] {
+                self.push(DramCommand::Activate((*aggressor).clone()), 0.0);
+                self.push(DramCommand::WaitNs(t_agg_on_ns), t_agg_on_ns);
+                self.push(DramCommand::Precharge(aggressor.bank_id()), 0.0);
+                self.push(DramCommand::WaitNs(t_rp_ns), t_rp_ns);
+            }
+        }
+    }
+
+    /// Append a whole-row initialization: ACT, one WR per column, PRE.
+    pub fn initialize_row(
+        &mut self,
+        row: &DramAddress,
+        columns: usize,
+        timing: &TimingParams,
+    ) {
+        let t_rcd_ns = timing.t_rcd_ps as f64 / 1000.0;
+        let t_rp_ns = timing.t_rp_ps as f64 / 1000.0;
+        let t_ccd_ns = timing.t_ccd_l_ps as f64 / 1000.0;
+        self.push(DramCommand::Activate(row.clone()), t_rcd_ns);
+        for col in 0..columns {
+            self.push(DramCommand::Write(row.with_column(col)), t_ccd_ns);
+        }
+        self.push(DramCommand::Precharge(row.bank_id()), t_rp_ns);
+    }
+
+    /// Append a whole-row read-back: ACT, one RD per column, PRE.
+    pub fn read_row(&mut self, row: &DramAddress, columns: usize, timing: &TimingParams) {
+        let t_rcd_ns = timing.t_rcd_ps as f64 / 1000.0;
+        let t_rp_ns = timing.t_rp_ps as f64 / 1000.0;
+        let t_ccd_ns = timing.t_ccd_l_ps as f64 / 1000.0;
+        self.push(DramCommand::Activate(row.clone()), t_rcd_ns);
+        for col in 0..columns {
+            self.push(DramCommand::Read(row.with_column(col)), t_ccd_ns);
+        }
+        self.push(DramCommand::Precharge(row.bank_id()), t_rp_ns);
+    }
+}
+
+impl Default for TestProgram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doublesided_program_has_expected_shape() {
+        let mut p = TestProgram::new();
+        let victim = DramAddress::row_in_bank0(100);
+        let timing = TimingParams::ddr4_3200();
+        p.hammer_doublesided(&victim, 10, 36.0, &timing);
+        // 10 hammers * 2 aggressors * (ACT, WAIT, PRE, WAIT).
+        assert_eq!(p.commands().len(), 10 * 2 * 4);
+        assert_eq!(p.activation_count(), 20);
+        // Duration: 20 * (36 + tRP) ns.
+        let expected = 20.0 * (36.0 + 13.75);
+        assert!((p.duration_ns() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aggressors_bracket_the_victim() {
+        let mut p = TestProgram::new();
+        let victim = DramAddress::row_in_bank0(100);
+        p.hammer_doublesided(&victim, 1, 36.0, &TimingParams::ddr4_3200());
+        let acts: Vec<usize> = p
+            .commands()
+            .iter()
+            .filter_map(|c| match c {
+                DramCommand::Activate(a) => Some(a.row),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acts, vec![101, 99]);
+    }
+
+    #[test]
+    fn row_init_and_readback_touch_every_column() {
+        let timing = TimingParams::ddr4_3200();
+        let mut p = TestProgram::new();
+        let row = DramAddress::row_in_bank0(5);
+        p.initialize_row(&row, 8, &timing);
+        p.read_row(&row, 8, &timing);
+        let writes = p.commands().iter().filter(|c| matches!(c, DramCommand::Write(_))).count();
+        let reads = p.commands().iter().filter(|c| matches!(c, DramCommand::Read(_))).count();
+        assert_eq!(writes, 8);
+        assert_eq!(reads, 8);
+        assert!(p.duration_ns() > 0.0);
+    }
+}

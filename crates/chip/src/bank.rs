@@ -1,0 +1,85 @@
+//! Per-bank storage and state for the behavioural chip model.
+
+/// State of a single DRAM row inside the model.
+#[derive(Debug, Clone)]
+pub struct RowState {
+    /// The stored data, one byte per 8 cells.
+    pub data: Vec<u8>,
+    /// Read-disturbance dose accumulated since the row was last sensed (activated or
+    /// refreshed), in units of *effective double-sided hammer pairs* at reference
+    /// conditions. Compared against the row's `true_threshold`.
+    pub dose: f64,
+    /// Number of times this row has been activated (aggressor-side bookkeeping).
+    pub activations: u64,
+}
+
+impl RowState {
+    /// A fresh row holding all-zero data.
+    pub fn new(row_size_bytes: usize) -> Self {
+        Self {
+            data: vec![0u8; row_size_bytes],
+            dose: 0.0,
+            activations: 0,
+        }
+    }
+
+    /// Fill the row with a repeated byte.
+    pub fn fill(&mut self, byte: u8) {
+        self.data.iter_mut().for_each(|b| *b = byte);
+    }
+}
+
+/// State of a single DRAM bank inside the model.
+#[derive(Debug, Clone)]
+pub struct BankState {
+    /// Per-physical-row state.
+    pub rows: Vec<RowState>,
+    /// The currently open (activated) physical row, if any.
+    pub open_row: Option<usize>,
+    /// Time (ns) at which the open row was activated.
+    pub open_since_ns: f64,
+    /// Round-robin cursor for auto-refresh.
+    pub refresh_cursor: usize,
+}
+
+impl BankState {
+    /// Create a bank of `rows` rows, each `row_size_bytes` wide, all zeroed.
+    pub fn new(rows: usize, row_size_bytes: usize) -> Self {
+        Self {
+            rows: (0..rows).map(|_| RowState::new(row_size_bytes)).collect(),
+            open_row: None,
+            open_since_ns: 0.0,
+            refresh_cursor: 0,
+        }
+    }
+
+    /// Number of rows in the bank.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the bank has an open row.
+    pub fn is_open(&self) -> bool {
+        self.open_row.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_bank_is_closed_and_zeroed() {
+        let b = BankState::new(16, 64);
+        assert!(!b.is_open());
+        assert_eq!(b.num_rows(), 16);
+        assert!(b.rows.iter().all(|r| r.data.iter().all(|&x| x == 0)));
+    }
+
+    #[test]
+    fn fill_overwrites_all_bytes() {
+        let mut r = RowState::new(32);
+        r.fill(0xAA);
+        assert!(r.data.iter().all(|&b| b == 0xAA));
+    }
+}

@@ -1,0 +1,46 @@
+//! Counters exposed by the chip model, useful for tests and sanity checks.
+
+/// Cumulative event counters of a [`crate::SimChip`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChipStats {
+    /// Total `ACT` commands executed.
+    pub activations: u64,
+    /// Total `PRE` commands executed.
+    pub precharges: u64,
+    /// Total `RD` commands executed.
+    pub reads: u64,
+    /// Total `WR` commands executed.
+    pub writes: u64,
+    /// Total `REF` commands executed.
+    pub refreshes: u64,
+    /// Total number of cell bitflips materialized by read disturbance.
+    pub bitflips_materialized: u64,
+    /// Number of rows preventively refreshed by the on-die TRR stub.
+    pub trr_refreshes: u64,
+    /// Number of successful RowClone attempts.
+    pub rowclone_successes: u64,
+    /// Number of failed RowClone attempts.
+    pub rowclone_failures: u64,
+}
+
+impl ChipStats {
+    /// All RowClone attempts.
+    pub fn rowclone_attempts(&self) -> u64 {
+        self.rowclone_successes + self.rowclone_failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rowclone_attempts_sum() {
+        let s = ChipStats {
+            rowclone_successes: 3,
+            rowclone_failures: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.rowclone_attempts(), 5);
+    }
+}

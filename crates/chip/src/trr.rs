@@ -1,0 +1,139 @@
+//! A simple on-die Target Row Refresh (TRR) stub.
+//!
+//! DRAM manufacturers ship proprietary in-DRAM RowHammer mitigations, generally
+//! called TRR (§3, footnote 2). The paper's methodology *disables* refresh during
+//! tests precisely to bypass these mechanisms and observe circuit-level behaviour.
+//! The chip model nevertheless provides a small TRR so that (a) tests can verify the
+//! harness's "disable refresh" measure matters, and (b) Svärd's in-DRAM
+//! implementation option has a host mechanism to attach to.
+//!
+//! The stub follows the sampling-based designs reverse-engineered by TRRespass and
+//! U-TRR: it tracks the most frequently activated rows per bank in a small table and
+//! refreshes their neighbours when the memory controller issues a `REF`.
+
+/// Configuration of the on-die TRR stub.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrrConfig {
+    /// Number of aggressor-candidate table entries per bank.
+    pub table_entries: usize,
+    /// How many of the top-ranked candidates get their neighbours refreshed per REF.
+    pub victims_refreshed_per_ref: usize,
+}
+
+impl Default for TrrConfig {
+    fn default() -> Self {
+        Self {
+            table_entries: 6,
+            victims_refreshed_per_ref: 2,
+        }
+    }
+}
+
+/// Per-bank TRR state: a tiny frequency table of recently activated rows.
+#[derive(Debug, Clone)]
+pub struct TrrState {
+    config: TrrConfig,
+    /// `(physical_row, count)` pairs, at most `table_entries` of them.
+    entries: Vec<(usize, u64)>,
+}
+
+impl TrrState {
+    /// Create the per-bank state for a given configuration.
+    pub fn new(config: TrrConfig) -> Self {
+        Self {
+            entries: Vec::with_capacity(config.table_entries),
+            config,
+        }
+    }
+
+    /// Record an activation of a physical row (Misra-Gries-style frequency sketch).
+    pub fn observe_activation(&mut self, physical_row: usize) {
+        if let Some(e) = self.entries.iter_mut().find(|(r, _)| *r == physical_row) {
+            e.1 += 1;
+            return;
+        }
+        if self.entries.len() < self.config.table_entries {
+            self.entries.push((physical_row, 1));
+            return;
+        }
+        // Decrement all counters; evict any that reach zero (Misra-Gries update).
+        for e in &mut self.entries {
+            e.1 = e.1.saturating_sub(1);
+        }
+        self.entries.retain(|(_, c)| *c > 0);
+        if self.entries.len() < self.config.table_entries {
+            self.entries.push((physical_row, 1));
+        }
+    }
+
+    /// Called when the memory controller issues a REF: returns the physical rows
+    /// whose *neighbours* should be preventively refreshed, and ages the table.
+    pub fn on_refresh(&mut self) -> Vec<usize> {
+        let mut ranked = self.entries.clone();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1));
+        let victims: Vec<usize> = ranked
+            .iter()
+            .take(self.config.victims_refreshed_per_ref)
+            .map(|&(row, _)| row)
+            .collect();
+        // Reset counters of the rows we just protected.
+        for e in &mut self.entries {
+            if victims.contains(&e.0) {
+                e.1 = 0;
+            }
+        }
+        self.entries.retain(|(_, c)| *c > 0);
+        victims
+    }
+
+    /// Number of tracked candidate rows (for tests).
+    pub fn tracked(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequently_hammered_row_is_selected() {
+        let mut trr = TrrState::new(TrrConfig::default());
+        for _ in 0..1000 {
+            trr.observe_activation(42);
+            trr.observe_activation(7);
+        }
+        // Noise from many other rows.
+        for r in 100..200 {
+            trr.observe_activation(r);
+        }
+        let victims = trr.on_refresh();
+        assert!(victims.contains(&42));
+        assert!(victims.contains(&7));
+    }
+
+    #[test]
+    fn table_is_bounded() {
+        let mut trr = TrrState::new(TrrConfig {
+            table_entries: 4,
+            victims_refreshed_per_ref: 1,
+        });
+        for r in 0..10_000 {
+            trr.observe_activation(r);
+        }
+        assert!(trr.tracked() <= 4);
+    }
+
+    #[test]
+    fn refresh_resets_protected_rows() {
+        let mut trr = TrrState::new(TrrConfig::default());
+        for _ in 0..10 {
+            trr.observe_activation(5);
+        }
+        let first = trr.on_refresh();
+        assert_eq!(first, vec![5]);
+        // After protection the row's counter is cleared.
+        let second = trr.on_refresh();
+        assert!(second.is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Quantization of per-row `HC_first` values into vulnerability bins.
+//!
+//! Svärd stores a few bits (4 in the paper's §6.4 analysis) per row. The bins are
+//! defined over the observed range of (scaled) `HC_first` values, spaced
+//! geometrically so that the weakest rows get fine-grained protection levels. The
+//! representative threshold of a bin is its *lower* bound: a row is never credited
+//! with more tolerance than it has (the §6.3 security argument).
+
+/// A set of vulnerability bins over `HC_first` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VulnerabilityBins {
+    /// Ascending lower bounds of each bin; `boundaries[0]` is the worst-case
+    /// threshold.
+    boundaries: Vec<u64>,
+}
+
+impl VulnerabilityBins {
+    /// Build `num_bins` (2..=16) geometrically spaced bins covering
+    /// `[worst_case, best_case]`.
+    pub fn geometric(worst_case: u64, best_case: u64, num_bins: usize) -> Self {
+        assert!((2..=16).contains(&num_bins), "bins must fit a 4-bit id");
+        assert!(worst_case >= 1 && best_case >= worst_case);
+        let ratio = (best_case as f64 / worst_case as f64).powf(1.0 / num_bins as f64);
+        let mut boundaries: Vec<u64> = (0..num_bins)
+            .map(|i| (worst_case as f64 * ratio.powi(i as i32)).floor() as u64)
+            .collect();
+        boundaries[0] = worst_case;
+        boundaries.dedup();
+        Self { boundaries }
+    }
+
+    /// Number of bins (at most 16).
+    pub fn num_bins(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// Number of bits needed to store a bin identifier.
+    pub fn bits_per_row(&self) -> u32 {
+        (usize::BITS - (self.num_bins() - 1).leading_zeros()).max(1)
+    }
+
+    /// The bin a threshold falls into: the largest bin whose lower bound does not
+    /// exceed the threshold.
+    pub fn bin_of(&self, hc_first: u64) -> u8 {
+        let mut bin = 0usize;
+        for (i, &b) in self.boundaries.iter().enumerate() {
+            if hc_first >= b {
+                bin = i;
+            } else {
+                break;
+            }
+        }
+        bin as u8
+    }
+
+    /// The threshold credited to a bin: its lower bound (never more than any member
+    /// row's true threshold).
+    pub fn threshold_of(&self, bin: u8) -> u64 {
+        self.boundaries[(bin as usize).min(self.boundaries.len() - 1)]
+    }
+
+    /// The worst-case (bin 0) threshold.
+    pub fn worst_case(&self) -> u64 {
+        self.boundaries[0]
+    }
+
+    /// The bin lower bounds, ascending.
+    pub fn boundaries(&self) -> &[u64] {
+        &self.boundaries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_never_credits_more_than_the_true_threshold() {
+        let bins = VulnerabilityBins::geometric(64, 128 * 1024, 16);
+        for hc in [64u64, 65, 100, 1000, 5000, 40_000, 131_072, 1 << 20] {
+            let bin = bins.bin_of(hc);
+            assert!(
+                bins.threshold_of(bin) <= hc,
+                "hc {hc} credited {}",
+                bins.threshold_of(bin)
+            );
+        }
+    }
+
+    #[test]
+    fn weakest_rows_map_to_bin_zero() {
+        let bins = VulnerabilityBins::geometric(1024, 128 * 1024, 8);
+        assert_eq!(bins.bin_of(1024), 0);
+        assert_eq!(bins.bin_of(0), 0);
+        assert_eq!(bins.threshold_of(0), 1024);
+        assert_eq!(bins.worst_case(), 1024);
+    }
+
+    #[test]
+    fn strongest_rows_map_to_the_top_bin() {
+        let bins = VulnerabilityBins::geometric(64, 128 * 1024, 16);
+        let top = bins.bin_of(10 * 128 * 1024);
+        assert_eq!(top as usize, bins.num_bins() - 1);
+    }
+
+    #[test]
+    fn bin_ids_fit_four_bits() {
+        let bins = VulnerabilityBins::geometric(64, 128 * 1024, 16);
+        assert!(bins.num_bins() <= 16);
+        assert!(bins.bits_per_row() <= 4);
+    }
+
+    #[test]
+    fn boundaries_are_ascending_and_start_at_worst_case() {
+        let bins = VulnerabilityBins::geometric(500, 90_000, 12);
+        let b = bins.boundaries();
+        assert_eq!(b[0], 500);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn degenerate_range_collapses_to_one_bin() {
+        let bins = VulnerabilityBins::geometric(4096, 4096, 8);
+        assert_eq!(bins.num_bins(), 1);
+        assert_eq!(bins.bin_of(4096), 0);
+        assert_eq!(bins.threshold_of(5), 4096);
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_than_sixteen_bins_is_rejected() {
+        let _ = VulnerabilityBins::geometric(64, 1 << 20, 17);
+    }
+}

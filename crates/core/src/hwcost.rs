@@ -1,0 +1,169 @@
+//! Hardware-cost model for Svärd's metadata storage (§6.4).
+//!
+//! The paper evaluates two implementations for a system with 64K-row banks, 8 KiB
+//! rows, dual-rank with 16 banks per rank, and 4-bit bin identifiers:
+//!
+//! * a **memory-controller table**: 0.056 mm² per bank, 0.47 ns access latency
+//!   (fully hidden under the ~14 ns row activation), 0.86 % of a high-end Xeon die
+//!   across four memory channels;
+//! * **in-DRAM metadata**: 4 extra bits per 8 KiB row, a 0.006 % DRAM array
+//!   overhead, with no added access latency because the metadata is fetched along
+//!   with the first read.
+//!
+//! The model below is an analytical SRAM estimate whose constants are fit to those
+//! published numbers, so it reproduces §6.4 and scales with configuration.
+
+/// Area and latency estimate for one storage option.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageCostReport {
+    /// Metadata bits per bank.
+    pub bits_per_bank: u64,
+    /// SRAM table area per bank in mm² (zero for in-DRAM storage).
+    pub table_area_per_bank_mm2: f64,
+    /// Total SRAM area for the configured number of banks, mm².
+    pub total_table_area_mm2: f64,
+    /// Table area as a fraction of the reference processor die.
+    pub fraction_of_cpu_die: f64,
+    /// Table access latency in ns (zero for in-DRAM storage).
+    pub access_latency_ns: f64,
+    /// DRAM array storage overhead as a fraction of the array (zero for the
+    /// controller table).
+    pub dram_overhead_fraction: f64,
+}
+
+/// Analytical cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareCostModel {
+    /// Rows per DRAM bank.
+    pub rows_per_bank: u64,
+    /// Row size in bytes.
+    pub row_size_bytes: u64,
+    /// Number of banks covered (dual-rank × 16 banks = 32 per channel in §6.4).
+    pub banks: u64,
+    /// Bits of metadata per row.
+    pub bits_per_row: u64,
+    /// Reference CPU die area in mm² (a high-end Intel Xeon per §6.4).
+    pub cpu_die_area_mm2: f64,
+    /// Row activation latency in ns (the latency the table lookup hides under).
+    pub activation_latency_ns: f64,
+}
+
+/// SRAM density constant fit to the paper's 0.056 mm² for a 64K × 4-bit table.
+const MM2_PER_BIT: f64 = 0.056 / (64.0 * 1024.0 * 4.0);
+/// Access-latency constants fit to 0.47 ns for the same table.
+const ACCESS_NS_BASE: f64 = 0.22;
+const ACCESS_NS_PER_LOG2_BIT: f64 = 0.014;
+
+impl HardwareCostModel {
+    /// The §6.4 configuration: 64K rows/bank, 8 KiB rows, dual rank × 16 banks per
+    /// channel × 4 channels, 4-bit identifiers, Cascade-Lake-class die.
+    pub fn paper_configuration() -> Self {
+        Self {
+            rows_per_bank: 64 * 1024,
+            row_size_bytes: 8 * 1024,
+            banks: 2 * 16,
+            bits_per_row: 4,
+            cpu_die_area_mm2: 208.0,
+            activation_latency_ns: 14.0,
+        }
+    }
+
+    /// Cost of the memory-controller table (option A of Fig. 11).
+    pub fn controller_table(&self) -> StorageCostReport {
+        let bits_per_bank = self.rows_per_bank * self.bits_per_row;
+        let table_area = bits_per_bank as f64 * MM2_PER_BIT;
+        let total = table_area * self.banks as f64;
+        let latency = ACCESS_NS_BASE + ACCESS_NS_PER_LOG2_BIT * (bits_per_bank as f64).log2();
+        StorageCostReport {
+            bits_per_bank,
+            table_area_per_bank_mm2: table_area,
+            total_table_area_mm2: total,
+            fraction_of_cpu_die: total / self.cpu_die_area_mm2,
+            access_latency_ns: latency,
+            dram_overhead_fraction: 0.0,
+        }
+    }
+
+    /// Cost of storing the bins in the DRAM array alongside the data-integrity bits
+    /// (option B of Fig. 11).
+    pub fn in_dram_metadata(&self) -> StorageCostReport {
+        let bits_per_bank = self.rows_per_bank * self.bits_per_row;
+        StorageCostReport {
+            bits_per_bank,
+            table_area_per_bank_mm2: 0.0,
+            total_table_area_mm2: 0.0,
+            fraction_of_cpu_die: 0.0,
+            access_latency_ns: 0.0,
+            dram_overhead_fraction: self.bits_per_row as f64 / (self.row_size_bytes as f64 * 8.0),
+        }
+    }
+
+    /// Whether a controller-table lookup is fully hidden under the row activation.
+    pub fn lookup_is_hidden(&self) -> bool {
+        self.controller_table().access_latency_ns < self.activation_latency_ns
+    }
+}
+
+impl Default for HardwareCostModel {
+    fn default() -> Self {
+        Self::paper_configuration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controller_table_matches_paper_numbers() {
+        let report = HardwareCostModel::paper_configuration().controller_table();
+        // 0.056 mm^2 per bank.
+        assert!((report.table_area_per_bank_mm2 - 0.056).abs() < 0.002);
+        // 0.86 % of the CPU die across four channels.
+        assert!((report.fraction_of_cpu_die - 0.0086).abs() < 0.001);
+        // 0.47 ns access latency (approximately).
+        assert!((report.access_latency_ns - 0.47).abs() < 0.05);
+    }
+
+    #[test]
+    fn in_dram_metadata_matches_paper_numbers() {
+        let report = HardwareCostModel::paper_configuration().in_dram_metadata();
+        // 4 bits per 8 KiB row = 0.006 %.
+        assert!((report.dram_overhead_fraction - 0.000061).abs() < 0.00001);
+        assert_eq!(report.total_table_area_mm2, 0.0);
+        assert_eq!(report.access_latency_ns, 0.0);
+    }
+
+    #[test]
+    fn lookup_latency_is_hidden_under_activation() {
+        assert!(HardwareCostModel::paper_configuration().lookup_is_hidden());
+    }
+
+    #[test]
+    fn cost_scales_with_rows_and_bits() {
+        let small = HardwareCostModel {
+            rows_per_bank: 16 * 1024,
+            ..HardwareCostModel::paper_configuration()
+        };
+        let big = HardwareCostModel {
+            rows_per_bank: 128 * 1024,
+            ..HardwareCostModel::paper_configuration()
+        };
+        assert!(
+            big.controller_table().total_table_area_mm2
+                > 4.0 * small.controller_table().total_table_area_mm2
+        );
+        let two_bit = HardwareCostModel {
+            bits_per_row: 2,
+            ..HardwareCostModel::paper_configuration()
+        };
+        assert!(
+            (two_bit.in_dram_metadata().dram_overhead_fraction * 2.0
+                - HardwareCostModel::paper_configuration()
+                    .in_dram_metadata()
+                    .dram_overhead_fraction)
+                .abs()
+                < 1e-9
+        );
+    }
+}

@@ -1,0 +1,369 @@
+//! A simple core model: 4-wide issue/retire, 128-entry instruction window, in-order
+//! retirement past outstanding LLC misses (Table 4).
+
+use svard_memsim::{MemoryRequest, MemorySystem, RequestKind};
+
+use crate::cache::{CacheOutcome, LastLevelCache};
+use crate::workload::{TraceGenerator, WorkloadSpec};
+
+/// Static core parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions issued/retired per cycle.
+    pub width: u32,
+    /// Instruction-window (ROB) capacity.
+    pub window: u64,
+    /// Maximum outstanding LLC misses.
+    pub max_outstanding_misses: usize,
+}
+
+impl CoreConfig {
+    /// The paper's Table 4 core: 4-wide, 128-entry instruction window.
+    pub fn table4() -> Self {
+        Self {
+            width: 4,
+            window: 128,
+            max_outstanding_misses: 16,
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::table4()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OutstandingMiss {
+    seq: u64,
+    request_id: u64,
+    done: bool,
+}
+
+/// One simulated core executing a synthetic trace against a shared memory system.
+#[derive(Debug)]
+pub struct SimpleCore {
+    /// Core index (used to tag memory requests).
+    pub id: usize,
+    config: CoreConfig,
+    /// Adversarial access patterns model an attacker that bypasses the cache
+    /// (e.g. via `clflush`), so every access reaches DRAM.
+    bypass_llc: bool,
+    trace: TraceGenerator,
+    llc: LastLevelCache,
+    issued: u64,
+    retired: u64,
+    instruction_limit: u64,
+    non_mem_remaining: u32,
+    next_access: Option<(u64, bool)>,
+    pending_request: Option<MemoryRequest>,
+    pending_is_demand: bool,
+    outstanding: Vec<OutstandingMiss>,
+    next_request_id: u64,
+    cycles: u64,
+    finish_cycle: Option<u64>,
+}
+
+impl SimpleCore {
+    /// Create a core running `spec` for `instruction_limit` instructions.
+    pub fn new(
+        id: usize,
+        spec: &WorkloadSpec,
+        config: CoreConfig,
+        instruction_limit: u64,
+        seed: u64,
+    ) -> Self {
+        let mut trace = TraceGenerator::new(spec, id, seed);
+        let first = trace.next_event();
+        let mut core = Self {
+            id,
+            config,
+            bypass_llc: spec.is_adversarial(),
+            trace,
+            llc: LastLevelCache::table4_per_core(),
+            issued: 0,
+            retired: 0,
+            instruction_limit,
+            non_mem_remaining: first.non_mem_instructions,
+            next_access: None,
+            pending_request: None,
+            pending_is_demand: false,
+            outstanding: Vec::new(),
+            next_request_id: (id as u64) << 48,
+            cycles: 0,
+            finish_cycle: None,
+        };
+        // Stash the first event's memory access as the next access to perform.
+        core.stash_event(first);
+        core
+    }
+
+    fn stash_event(&mut self, event: crate::workload::TraceEvent) {
+        self.non_mem_remaining = event.non_mem_instructions;
+        self.next_access = Some((event.address, event.is_write));
+    }
+
+    /// True once the core has issued (and retired) its instruction budget.
+    pub fn finished(&self) -> bool {
+        self.retired >= self.instruction_limit
+    }
+
+    /// Instructions retired so far.
+    pub fn retired_instructions(&self) -> u64 {
+        self.retired
+    }
+
+    /// Cycles this core has been ticked.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Retired instructions per cycle, measured at the cycle the core finished (or
+    /// now, if it has not finished yet).
+    pub fn ipc(&self) -> f64 {
+        let cycles = self.finish_cycle.unwrap_or(self.cycles).max(1);
+        self.retired as f64 / cycles as f64
+    }
+
+    /// The core's LLC (for statistics).
+    pub fn llc(&self) -> &LastLevelCache {
+        &self.llc
+    }
+
+    /// Notify the core that one of its memory requests completed.
+    pub fn on_completion(&mut self, request_id: u64) {
+        if let Some(m) = self
+            .outstanding
+            .iter_mut()
+            .find(|m| m.request_id == request_id)
+        {
+            m.done = true;
+        }
+    }
+
+    /// Advance the core by one cycle, issuing LLC misses into `memory`.
+    pub fn tick(&mut self, memory: &mut MemorySystem) {
+        if self.finished() {
+            return;
+        }
+        self.cycles += 1;
+
+        // --- Retire: in order, up to `width`, never past an incomplete miss. -----
+        self.outstanding.retain(|m| !(m.done && m.seq <= self.retired + 1));
+        let oldest_incomplete = self
+            .outstanding
+            .iter()
+            .filter(|m| !m.done)
+            .map(|m| m.seq)
+            .min();
+        let retire_limit = oldest_incomplete.map_or(self.issued, |seq| seq.saturating_sub(1));
+        let retire_to = (self.retired + self.config.width as u64)
+            .min(retire_limit)
+            .min(self.issued)
+            .min(self.instruction_limit);
+        if retire_to > self.retired {
+            self.retired = retire_to;
+        }
+        if self.finished() && self.finish_cycle.is_none() {
+            self.finish_cycle = Some(self.cycles);
+            return;
+        }
+
+        // --- Issue: up to `width` instructions, window and MSHR permitting. ------
+        for _ in 0..self.config.width {
+            if self.issued >= self.instruction_limit {
+                break;
+            }
+            if self.issued - self.retired >= self.config.window {
+                break; // instruction window full
+            }
+            // Retry a request the memory controller previously rejected.
+            if let Some(req) = self.pending_request.take() {
+                let req_id = req.id;
+                match memory.enqueue(req) {
+                    Ok(()) => {
+                        if self.pending_is_demand {
+                            self.outstanding.push(OutstandingMiss {
+                                seq: self.issued + 1,
+                                request_id: req_id,
+                                done: false,
+                            });
+                        }
+                        self.issued += 1;
+                        self.advance_trace();
+                    }
+                    Err(req) => {
+                        self.pending_request = Some(req);
+                        break;
+                    }
+                }
+                continue;
+            }
+            if self.non_mem_remaining > 0 {
+                self.non_mem_remaining -= 1;
+                self.issued += 1;
+                continue;
+            }
+            // The next instruction is the stashed memory access.
+            let Some((address, is_write)) = self.next_access else {
+                self.issued += 1;
+                continue;
+            };
+            let outcome = if self.bypass_llc {
+                CacheOutcome::Miss { writeback: None }
+            } else {
+                self.llc.access(address, is_write)
+            };
+            match outcome {
+                CacheOutcome::Hit => {
+                    self.issued += 1;
+                    self.advance_trace();
+                }
+                CacheOutcome::Miss { writeback } => {
+                    if self.outstanding.iter().filter(|m| !m.done).count()
+                        >= self.config.max_outstanding_misses
+                    {
+                        break; // MSHRs full; retry next cycle
+                    }
+                    // Issue the writeback first (not tracked for retirement).
+                    if let Some(wb_addr) = writeback {
+                        let wb = MemoryRequest::new(
+                            self.alloc_request_id(),
+                            RequestKind::Write,
+                            wb_addr,
+                            self.id,
+                        );
+                        if memory.enqueue(wb).is_err() {
+                            // Drop the writeback on queue pressure; it does not gate
+                            // core progress and the line is modelled as rewritten.
+                        }
+                    }
+                    let id = self.alloc_request_id();
+                    let kind = if is_write {
+                        RequestKind::Write
+                    } else {
+                        RequestKind::Read
+                    };
+                    // Stores retire without waiting for DRAM; only loads block
+                    // retirement.
+                    let demand = !is_write;
+                    let req = MemoryRequest::new(id, kind, address, self.id);
+                    match memory.enqueue(req) {
+                        Ok(()) => {
+                            if demand {
+                                self.outstanding.push(OutstandingMiss {
+                                    seq: self.issued + 1,
+                                    request_id: id,
+                                    done: false,
+                                });
+                            }
+                            self.issued += 1;
+                            self.advance_trace();
+                        }
+                        Err(req) => {
+                            self.pending_request = Some(req);
+                            self.pending_is_demand = demand;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn alloc_request_id(&mut self) -> u64 {
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        id
+    }
+
+    fn advance_trace(&mut self) {
+        let event = self.trace.next_event();
+        self.non_mem_remaining = event.non_mem_instructions;
+        self.next_access = Some((event.address, event.is_write));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svard_memsim::MemoryConfig;
+
+    fn run_core(spec: &WorkloadSpec, instructions: u64) -> (f64, u64) {
+        let mut memory = MemorySystem::new(MemoryConfig::small(4096));
+        let mut core = SimpleCore::new(0, spec, CoreConfig::table4(), instructions, 7);
+        let mut cycles = 0u64;
+        while !core.finished() && cycles < 5_000_000 {
+            core.tick(&mut memory);
+            for done in memory.tick() {
+                core.on_completion(done.id);
+            }
+            cycles += 1;
+        }
+        assert!(core.finished(), "core did not finish in time");
+        (core.ipc(), memory.stats().requests_completed())
+    }
+
+    #[test]
+    fn compute_bound_workload_reaches_near_peak_ipc() {
+        // A workload with tiny working set: everything hits in the LLC after warmup.
+        let spec = WorkloadSpec {
+            name: "tiny",
+            class: crate::workload::WorkloadClass::MediaBench,
+            mem_per_kilo_instr: 20,
+            working_set_bytes: 64 << 10,
+            sequential_fraction: 0.9,
+            read_fraction: 0.7,
+        };
+        let (ipc, _) = run_core(&spec, 50_000);
+        assert!(ipc > 3.0, "ipc = {ipc}");
+    }
+
+    #[test]
+    fn memory_bound_workload_is_limited_by_dram() {
+        let spec = WorkloadSpec {
+            name: "thrash",
+            class: crate::workload::WorkloadClass::Ycsb,
+            mem_per_kilo_instr: 100,
+            working_set_bytes: 256 << 20,
+            sequential_fraction: 0.05,
+            read_fraction: 0.9,
+        };
+        let (ipc, requests) = run_core(&spec, 50_000);
+        assert!(ipc < 2.0, "ipc = {ipc}");
+        assert!(requests > 1000, "requests = {requests}");
+    }
+
+    #[test]
+    fn ipc_is_deterministic() {
+        let spec = &WorkloadSpec::catalogue()[0];
+        let (a, _) = run_core(spec, 20_000);
+        let (b, _) = run_core(spec, 20_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn finished_core_stops_counting_cycles() {
+        let spec = &WorkloadSpec::catalogue()[8];
+        let mut memory = MemorySystem::new(MemoryConfig::small(1024));
+        let mut core = SimpleCore::new(0, spec, CoreConfig::table4(), 5_000, 3);
+        for _ in 0..2_000_000 {
+            if core.finished() {
+                break;
+            }
+            core.tick(&mut memory);
+            for done in memory.tick() {
+                core.on_completion(done.id);
+            }
+        }
+        assert!(core.finished());
+        let ipc_at_finish = core.ipc();
+        // Extra ticks after finishing must not change the IPC.
+        for _ in 0..100 {
+            core.tick(&mut memory);
+        }
+        assert_eq!(core.ipc(), ipc_at_finish);
+        assert_eq!(core.retired_instructions(), 5_000);
+    }
+}

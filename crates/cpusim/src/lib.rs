@@ -1,0 +1,36 @@
+//! CPU-side models for the Svärd performance evaluation (§7.1).
+//!
+//! The paper runs 120 eight-core multiprogrammed mixes drawn from SPEC CPU2006,
+//! SPEC CPU2017, TPC, MediaBench and YCSB on Ramulator. This crate replaces the
+//! proprietary traces with *synthetic workload classes* whose memory behaviour
+//! (memory intensity, row-buffer locality, working-set size, read/write mix) spans
+//! the same range, plus the two adversarial access patterns of Fig. 13, and provides:
+//!
+//! * [`workload`] — the workload catalogue, deterministic trace generators and the
+//!   120-mix generator;
+//! * [`cache`] — a per-core last-level cache model (2 MiB per core, Table 4);
+//! * [`core`] — a simple out-of-order-miss / in-order-retire core with a 128-entry
+//!   instruction window and 4-wide retire (Table 4);
+//! * [`metrics`] — weighted speedup, harmonic speedup and maximum slowdown, the
+//!   three system-level metrics of Fig. 12.
+//!
+//! # Example
+//!
+//! ```
+//! use svard_cpusim::workload::{WorkloadSpec, TraceGenerator};
+//!
+//! let spec = WorkloadSpec::catalogue().into_iter().next().unwrap();
+//! let mut gen = TraceGenerator::new(&spec, 0, 42);
+//! let event = gen.next_event();
+//! assert!(event.non_mem_instructions <= 10_000);
+//! ```
+
+pub mod cache;
+pub mod core;
+pub mod metrics;
+pub mod workload;
+
+pub use cache::{CacheOutcome, LastLevelCache};
+pub use core::{CoreConfig, SimpleCore};
+pub use metrics::{harmonic_speedup, max_slowdown, weighted_speedup};
+pub use workload::{TraceGenerator, WorkloadClass, WorkloadMix, WorkloadSpec};

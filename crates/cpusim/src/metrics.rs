@@ -1,0 +1,130 @@
+//! System-level multiprogrammed-workload metrics (§7.1 "Metrics").
+//!
+//! All three metrics compare each core's IPC when sharing the memory system
+//! (`shared`) against its IPC when running alone on the same configuration
+//! (`alone`):
+//!
+//! * **weighted speedup** (system throughput) — `Σ shared_i / alone_i`;
+//! * **harmonic speedup** (job turnaround) — `N / Σ (alone_i / shared_i)`;
+//! * **maximum slowdown** (fairness) — `max_i alone_i / shared_i`.
+
+/// Weighted speedup of a multiprogrammed run.
+pub fn weighted_speedup(alone_ipc: &[f64], shared_ipc: &[f64]) -> f64 {
+    check(alone_ipc, shared_ipc);
+    alone_ipc
+        .iter()
+        .zip(shared_ipc)
+        .map(|(&a, &s)| s / a)
+        .sum()
+}
+
+/// Harmonic speedup of a multiprogrammed run.
+pub fn harmonic_speedup(alone_ipc: &[f64], shared_ipc: &[f64]) -> f64 {
+    check(alone_ipc, shared_ipc);
+    let denom: f64 = alone_ipc.iter().zip(shared_ipc).map(|(&a, &s)| a / s).sum();
+    alone_ipc.len() as f64 / denom
+}
+
+/// Maximum slowdown of a multiprogrammed run (higher is worse).
+pub fn max_slowdown(alone_ipc: &[f64], shared_ipc: &[f64]) -> f64 {
+    check(alone_ipc, shared_ipc);
+    alone_ipc
+        .iter()
+        .zip(shared_ipc)
+        .map(|(&a, &s)| a / s)
+        .fold(0.0, f64::max)
+}
+
+fn check(alone: &[f64], shared: &[f64]) {
+    assert_eq!(alone.len(), shared.len(), "per-core IPC vectors must align");
+    assert!(!alone.is_empty(), "need at least one core");
+    assert!(
+        alone.iter().chain(shared).all(|&x| x > 0.0),
+        "IPC values must be positive"
+    );
+}
+
+/// The three metrics bundled, as reported by every Fig. 12 data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemMetrics {
+    /// Weighted speedup (higher is better).
+    pub weighted_speedup: f64,
+    /// Harmonic speedup (higher is better).
+    pub harmonic_speedup: f64,
+    /// Maximum slowdown (lower is better).
+    pub max_slowdown: f64,
+}
+
+impl SystemMetrics {
+    /// Compute all three metrics.
+    pub fn compute(alone_ipc: &[f64], shared_ipc: &[f64]) -> Self {
+        Self {
+            weighted_speedup: weighted_speedup(alone_ipc, shared_ipc),
+            harmonic_speedup: harmonic_speedup(alone_ipc, shared_ipc),
+            max_slowdown: max_slowdown(alone_ipc, shared_ipc),
+        }
+    }
+
+    /// Normalize this measurement to a baseline (the paper normalizes every
+    /// configuration to the no-defense baseline).
+    pub fn normalized_to(&self, baseline: &SystemMetrics) -> SystemMetrics {
+        SystemMetrics {
+            weighted_speedup: self.weighted_speedup / baseline.weighted_speedup,
+            harmonic_speedup: self.harmonic_speedup / baseline.harmonic_speedup,
+            max_slowdown: self.max_slowdown / baseline.max_slowdown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_interference_gives_ideal_metrics() {
+        let ipc = [1.0, 2.0, 0.5, 1.5];
+        assert!((weighted_speedup(&ipc, &ipc) - 4.0).abs() < 1e-12);
+        assert!((harmonic_speedup(&ipc, &ipc) - 1.0).abs() < 1e-12);
+        assert!((max_slowdown(&ipc, &ipc) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_halving_halves_throughput() {
+        let alone = [1.0, 1.0];
+        let shared = [0.5, 0.5];
+        assert!((weighted_speedup(&alone, &shared) - 1.0).abs() < 1e-12);
+        assert!((harmonic_speedup(&alone, &shared) - 0.5).abs() < 1e-12);
+        assert!((max_slowdown(&alone, &shared) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_slowdown_tracks_the_worst_victim() {
+        let alone = [1.0, 1.0, 1.0];
+        let shared = [0.9, 0.8, 0.25];
+        assert!((max_slowdown(&alone, &shared) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_is_relative() {
+        let baseline = SystemMetrics {
+            weighted_speedup: 4.0,
+            harmonic_speedup: 0.8,
+            max_slowdown: 2.0,
+        };
+        let with_defense = SystemMetrics {
+            weighted_speedup: 2.0,
+            harmonic_speedup: 0.4,
+            max_slowdown: 4.0,
+        };
+        let norm = with_defense.normalized_to(&baseline);
+        assert!((norm.weighted_speedup - 0.5).abs() < 1e-12);
+        assert!((norm.harmonic_speedup - 0.5).abs() < 1e-12);
+        assert!((norm.max_slowdown - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = weighted_speedup(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,369 @@
+//! Synthetic workload classes, trace generation and multiprogrammed mixes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The benchmark-suite-level class a synthetic workload emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WorkloadClass {
+    /// SPEC CPU2006-like: mixed intensity, moderate locality.
+    SpecCpu2006,
+    /// SPEC CPU2017-like: larger working sets, higher bandwidth demand.
+    SpecCpu2017,
+    /// TPC-like transaction processing: pointer chasing, poor locality.
+    Tpc,
+    /// MediaBench-like streaming media kernels: high locality, high intensity.
+    MediaBench,
+    /// YCSB-like key-value serving: large working set, random accesses.
+    Ycsb,
+    /// Adversarial pattern that thrashes Hydra's counter cache (Fig. 13a).
+    AdversarialHydraCct,
+    /// Adversarial pattern that repeatedly hammers one row to maximize RRS swaps
+    /// (Fig. 13b).
+    AdversarialRrsHammer,
+}
+
+impl std::fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WorkloadClass::SpecCpu2006 => "spec2006",
+            WorkloadClass::SpecCpu2017 => "spec2017",
+            WorkloadClass::Tpc => "tpc",
+            WorkloadClass::MediaBench => "mediabench",
+            WorkloadClass::Ycsb => "ycsb",
+            WorkloadClass::AdversarialHydraCct => "adv-hydra",
+            WorkloadClass::AdversarialRrsHammer => "adv-rrs",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Parameters of one synthetic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Short name ("mcf-like", "ycsb-a", ...).
+    pub name: &'static str,
+    /// Suite-level class.
+    pub class: WorkloadClass,
+    /// Memory instructions per 1000 instructions (pre-cache).
+    pub mem_per_kilo_instr: u32,
+    /// Working-set size in bytes.
+    pub working_set_bytes: u64,
+    /// Probability that the next memory access continues sequentially in the same
+    /// region (drives row-buffer locality).
+    pub sequential_fraction: f64,
+    /// Fraction of memory accesses that are reads.
+    pub read_fraction: f64,
+}
+
+impl WorkloadSpec {
+    /// The catalogue of synthetic workloads used to build multiprogrammed mixes:
+    /// three representatives per suite, spanning low / medium / high memory
+    /// intensity (the paper selects memory-intensive mixes; the mix generator
+    /// follows suit by weighting intensive workloads more heavily).
+    pub fn catalogue() -> Vec<WorkloadSpec> {
+        vec![
+            WorkloadSpec { name: "spec06-mcf-like", class: WorkloadClass::SpecCpu2006, mem_per_kilo_instr: 70, working_set_bytes: 256 << 20, sequential_fraction: 0.25, read_fraction: 0.75 },
+            WorkloadSpec { name: "spec06-libquantum-like", class: WorkloadClass::SpecCpu2006, mem_per_kilo_instr: 55, working_set_bytes: 64 << 20, sequential_fraction: 0.85, read_fraction: 0.80 },
+            WorkloadSpec { name: "spec06-gcc-like", class: WorkloadClass::SpecCpu2006, mem_per_kilo_instr: 18, working_set_bytes: 32 << 20, sequential_fraction: 0.55, read_fraction: 0.70 },
+            WorkloadSpec { name: "spec17-lbm-like", class: WorkloadClass::SpecCpu2017, mem_per_kilo_instr: 75, working_set_bytes: 512 << 20, sequential_fraction: 0.80, read_fraction: 0.55 },
+            WorkloadSpec { name: "spec17-cam4-like", class: WorkloadClass::SpecCpu2017, mem_per_kilo_instr: 35, working_set_bytes: 128 << 20, sequential_fraction: 0.60, read_fraction: 0.65 },
+            WorkloadSpec { name: "spec17-xz-like", class: WorkloadClass::SpecCpu2017, mem_per_kilo_instr: 22, working_set_bytes: 96 << 20, sequential_fraction: 0.40, read_fraction: 0.72 },
+            WorkloadSpec { name: "tpc-c-like", class: WorkloadClass::Tpc, mem_per_kilo_instr: 45, working_set_bytes: 384 << 20, sequential_fraction: 0.15, read_fraction: 0.60 },
+            WorkloadSpec { name: "tpc-h-like", class: WorkloadClass::Tpc, mem_per_kilo_instr: 60, working_set_bytes: 512 << 20, sequential_fraction: 0.45, read_fraction: 0.85 },
+            WorkloadSpec { name: "mediabench-h264-like", class: WorkloadClass::MediaBench, mem_per_kilo_instr: 30, working_set_bytes: 16 << 20, sequential_fraction: 0.90, read_fraction: 0.70 },
+            WorkloadSpec { name: "mediabench-jpeg-like", class: WorkloadClass::MediaBench, mem_per_kilo_instr: 40, working_set_bytes: 8 << 20, sequential_fraction: 0.92, read_fraction: 0.65 },
+            WorkloadSpec { name: "ycsb-a-like", class: WorkloadClass::Ycsb, mem_per_kilo_instr: 50, working_set_bytes: 768 << 20, sequential_fraction: 0.10, read_fraction: 0.50 },
+            WorkloadSpec { name: "ycsb-c-like", class: WorkloadClass::Ycsb, mem_per_kilo_instr: 48, working_set_bytes: 768 << 20, sequential_fraction: 0.10, read_fraction: 0.95 },
+        ]
+    }
+
+    /// The Hydra adversarial pattern of Fig. 13a: maximize counter-cache evictions by
+    /// touching as many distinct DRAM rows as possible with no reuse.
+    pub fn adversarial_hydra() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "adversarial-hydra-cct",
+            class: WorkloadClass::AdversarialHydraCct,
+            mem_per_kilo_instr: 200,
+            working_set_bytes: 4 << 30,
+            sequential_fraction: 0.0,
+            read_fraction: 1.0,
+        }
+    }
+
+    /// The RRS adversarial pattern of Fig. 13b: keep hammering one row to maximize
+    /// the number of row swaps.
+    pub fn adversarial_rrs() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "adversarial-rrs-hammer",
+            class: WorkloadClass::AdversarialRrsHammer,
+            mem_per_kilo_instr: 250,
+            working_set_bytes: 1 << 20,
+            sequential_fraction: 0.0,
+            read_fraction: 1.0,
+        }
+    }
+
+    /// Whether this is one of the two adversarial patterns.
+    pub fn is_adversarial(&self) -> bool {
+        matches!(
+            self.class,
+            WorkloadClass::AdversarialHydraCct | WorkloadClass::AdversarialRrsHammer
+        )
+    }
+
+    /// Rough memory intensity ranking used by the mix generator (memory instructions
+    /// per kilo-instruction).
+    pub fn intensity(&self) -> u32 {
+        self.mem_per_kilo_instr
+    }
+}
+
+/// One event of a synthetic trace: a run of non-memory instructions followed by one
+/// memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Number of non-memory instructions preceding the access.
+    pub non_mem_instructions: u32,
+    /// Physical byte address of the access (cache-line aligned).
+    pub address: u64,
+    /// True if the access is a store.
+    pub is_write: bool,
+}
+
+/// Deterministic, infinite trace generator for one workload on one core.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    spec: WorkloadSpec,
+    rng: StdRng,
+    /// Base address of this core's private address-space slice.
+    base: u64,
+    /// Current sequential pointer within the working set.
+    cursor: u64,
+    /// Two fixed rows used by the RRS adversarial pattern (alternating conflicting
+    /// accesses to keep re-activating the hammered row).
+    hammer_toggle: bool,
+}
+
+impl TraceGenerator {
+    /// Create a generator for `spec` running on `core`, with a deterministic seed.
+    pub fn new(spec: &WorkloadSpec, core: usize, seed: u64) -> Self {
+        let base = (core as u64) << 36;
+        Self {
+            spec: spec.clone(),
+            rng: StdRng::seed_from_u64(seed ^ ((core as u64) << 8) ^ 0x7A11_AD00),
+            base,
+            cursor: 0,
+            hammer_toggle: false,
+        }
+    }
+
+    /// The workload this generator models.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Produce the next trace event.
+    pub fn next_event(&mut self) -> TraceEvent {
+        // Memory instructions per kilo-instruction -> average gap between accesses.
+        let gap = (1000.0 / self.spec.mem_per_kilo_instr as f64).max(1.0);
+        // Exponentially distributed gap around the mean, truncated for sanity.
+        let u: f64 = self.rng.random::<f64>().max(1e-9);
+        let non_mem = (-u.ln() * gap).min(10_000.0) as u32;
+
+        let address = match self.spec.class {
+            WorkloadClass::AdversarialRrsHammer => {
+                // Alternate between two rows of the same bank so that every access
+                // re-activates the hammered row (row conflicts on purpose).
+                self.hammer_toggle = !self.hammer_toggle;
+                // Far enough apart to land in another row of the same bank under the
+                // MOP interleaving of the Table 4 geometry.
+                let row_stride = 1u64 << 18;
+                if self.hammer_toggle {
+                    self.base
+                } else {
+                    self.base + row_stride
+                }
+            }
+            WorkloadClass::AdversarialHydraCct => {
+                // A fresh, never-reused row every access.
+                self.cursor += 1 << 13;
+                self.base + (self.cursor % self.spec.working_set_bytes)
+            }
+            _ => {
+                if self.rng.random::<f64>() < self.spec.sequential_fraction {
+                    self.cursor = (self.cursor + 64) % self.spec.working_set_bytes;
+                } else {
+                    self.cursor =
+                        self.rng.random_range(0..self.spec.working_set_bytes / 64) * 64;
+                }
+                self.base + self.cursor
+            }
+        };
+        let is_write = self.rng.random::<f64>() >= self.spec.read_fraction;
+        TraceEvent {
+            non_mem_instructions: non_mem,
+            address: address & !63,
+            is_write,
+        }
+    }
+}
+
+/// An 8-core multiprogrammed workload mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadMix {
+    /// Mix identifier (0-based).
+    pub id: usize,
+    /// One workload per core.
+    pub workloads: Vec<WorkloadSpec>,
+}
+
+impl WorkloadMix {
+    /// Generate `count` memory-intensive 8-core mixes by randomly drawing from the
+    /// catalogue (the paper uses 120 such mixes).
+    pub fn generate(count: usize, cores: usize, seed: u64) -> Vec<WorkloadMix> {
+        let catalogue = WorkloadSpec::catalogue();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x3A1D_0C75);
+        (0..count)
+            .map(|id| {
+                let workloads = (0..cores)
+                    .map(|_| {
+                        // Weight toward memory-intensive workloads, as the paper
+                        // evaluates memory-intensive mixes.
+                        loop {
+                            let candidate = &catalogue[rng.random_range(0..catalogue.len())];
+                            let keep = 0.3 + 0.7 * (candidate.intensity() as f64 / 80.0);
+                            if rng.random::<f64>() < keep {
+                                break candidate.clone();
+                            }
+                        }
+                    })
+                    .collect();
+                WorkloadMix { id, workloads }
+            })
+            .collect()
+    }
+
+    /// An all-adversarial mix targeting one defense (used by Fig. 13).
+    pub fn adversarial(spec: WorkloadSpec, cores: usize) -> WorkloadMix {
+        WorkloadMix {
+            id: usize::MAX,
+            workloads: (0..cores).map(|_| spec.clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_spans_five_suites() {
+        let classes: std::collections::BTreeSet<WorkloadClass> = WorkloadSpec::catalogue()
+            .iter()
+            .map(|w| w.class)
+            .collect();
+        assert_eq!(classes.len(), 5);
+        assert!(WorkloadSpec::catalogue().len() >= 10);
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let spec = &WorkloadSpec::catalogue()[0];
+        let mut a = TraceGenerator::new(spec, 0, 1);
+        let mut b = TraceGenerator::new(spec, 0, 1);
+        for _ in 0..100 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+        let mut c = TraceGenerator::new(spec, 1, 1);
+        assert_ne!(a.next_event().address, c.next_event().address);
+    }
+
+    #[test]
+    fn addresses_stay_in_the_cores_slice() {
+        let spec = &WorkloadSpec::catalogue()[3];
+        let mut generator = TraceGenerator::new(spec, 5, 9);
+        for _ in 0..1000 {
+            let e = generator.next_event();
+            assert_eq!(e.address >> 36, 5);
+            assert_eq!(e.address % 64, 0);
+        }
+    }
+
+    #[test]
+    fn sequential_workloads_produce_sequential_runs() {
+        let streaming = WorkloadSpec::catalogue()
+            .into_iter()
+            .find(|w| w.name == "mediabench-jpeg-like")
+            .unwrap();
+        let mut generator = TraceGenerator::new(&streaming, 0, 3);
+        let mut sequential = 0;
+        let mut last = generator.next_event().address;
+        for _ in 0..1000 {
+            let e = generator.next_event();
+            if e.address == last + 64 {
+                sequential += 1;
+            }
+            last = e.address;
+        }
+        assert!(sequential > 800, "sequential = {sequential}");
+    }
+
+    #[test]
+    fn read_fraction_is_respected() {
+        let spec = WorkloadSpec::catalogue()
+            .into_iter()
+            .find(|w| w.name == "ycsb-c-like")
+            .unwrap();
+        let mut generator = TraceGenerator::new(&spec, 0, 5);
+        let writes = (0..2000)
+            .filter(|_| generator.next_event().is_write)
+            .count();
+        // 5% writes expected.
+        assert!(writes > 40 && writes < 220, "writes = {writes}");
+    }
+
+    #[test]
+    fn rrs_adversary_alternates_two_rows() {
+        let mut generator = TraceGenerator::new(&WorkloadSpec::adversarial_rrs(), 0, 7);
+        let addrs: std::collections::BTreeSet<u64> =
+            (0..100).map(|_| generator.next_event().address).collect();
+        assert_eq!(addrs.len(), 2);
+    }
+
+    #[test]
+    fn hydra_adversary_never_reuses_rows() {
+        let mut generator = TraceGenerator::new(&WorkloadSpec::adversarial_hydra(), 0, 7);
+        let addrs: std::collections::BTreeSet<u64> =
+            (0..500).map(|_| generator.next_event().address).collect();
+        assert_eq!(addrs.len(), 500);
+    }
+
+    #[test]
+    fn mix_generation_is_deterministic_and_sized() {
+        let mixes = WorkloadMix::generate(120, 8, 42);
+        assert_eq!(mixes.len(), 120);
+        assert!(mixes.iter().all(|m| m.workloads.len() == 8));
+        let again = WorkloadMix::generate(120, 8, 42);
+        assert_eq!(mixes, again);
+        let different = WorkloadMix::generate(120, 8, 43);
+        assert_ne!(mixes, different);
+    }
+
+    #[test]
+    fn mixes_favor_memory_intensive_workloads() {
+        let mixes = WorkloadMix::generate(50, 8, 1);
+        let mean_intensity: f64 = mixes
+            .iter()
+            .flat_map(|m| m.workloads.iter())
+            .map(|w| w.intensity() as f64)
+            .sum::<f64>()
+            / (50.0 * 8.0);
+        let catalogue_mean: f64 = WorkloadSpec::catalogue()
+            .iter()
+            .map(|w| w.intensity() as f64)
+            .sum::<f64>()
+            / WorkloadSpec::catalogue().len() as f64;
+        assert!(mean_intensity > catalogue_mean);
+    }
+}

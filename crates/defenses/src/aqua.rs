@@ -1,0 +1,182 @@
+//! AQUA: quarantining aggressor rows (Saxena et al., MICRO 2022).
+//!
+//! AQUA reserves a small quarantine region in DRAM. When a row's activation count
+//! crosses the threshold, the row's *contents* are migrated into the quarantine
+//! region, breaking the physical adjacency between the aggressor's data and its
+//! victims. The cost of each quarantine is a full row migration (read-out plus
+//! write-back), plus the reserved capacity.
+
+use svard_dram::address::BankId;
+use svard_memsim::{MitigationHook, PreventiveAction};
+
+use crate::common::ActivationCounters;
+use crate::provider::SharedThresholdProvider;
+
+/// Fraction of the victim threshold at which a row is quarantined.
+const QUARANTINE_FRACTION: f64 = 0.5;
+/// Fraction of the rows of each bank reserved as the quarantine region (the paper
+/// configures roughly 1/72 of capacity; we round to 1/64).
+const QUARANTINE_REGION_FRACTION: usize = 64;
+
+/// The AQUA defense.
+pub struct Aqua {
+    provider: SharedThresholdProvider,
+    counters: ActivationCounters,
+    rows_per_bank: usize,
+    /// Next quarantine slot per bank (round-robin within the reserved region).
+    next_slot: std::collections::HashMap<BankId, usize>,
+    name: String,
+    migrations: u64,
+}
+
+impl Aqua {
+    /// Create AQUA for banks of `rows_per_bank` rows.
+    pub fn new(provider: SharedThresholdProvider, rows_per_bank: usize) -> Self {
+        let name = format!("AQUA ({})", provider.name());
+        Self {
+            provider,
+            counters: ActivationCounters::new(),
+            rows_per_bank: rows_per_bank.max(QUARANTINE_REGION_FRACTION),
+            next_slot: std::collections::HashMap::new(),
+            name,
+            migrations: 0,
+        }
+    }
+
+    /// Number of rows reserved for quarantine in each bank.
+    pub fn quarantine_rows(&self) -> usize {
+        (self.rows_per_bank / QUARANTINE_REGION_FRACTION).max(1)
+    }
+
+    /// First row of the quarantine region.
+    pub fn quarantine_base(&self) -> usize {
+        self.rows_per_bank - self.quarantine_rows()
+    }
+
+    /// Row migrations performed so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+}
+
+impl MitigationHook for Aqua {
+    fn on_activation(&mut self, bank: BankId, row: usize, _cycle: u64) -> Vec<PreventiveAction> {
+        let threshold = self.provider.victim_threshold(bank, row).max(2);
+        let quarantine_at = ((threshold as f64 * QUARANTINE_FRACTION) as u64).max(1);
+        let count = self.counters.record(bank, row);
+        if count < quarantine_at {
+            return Vec::new();
+        }
+        self.counters.reset(bank, row);
+        let base = self.quarantine_base();
+        let region = self.quarantine_rows();
+        let slot = self.next_slot.entry(bank).or_insert(0);
+        let destination = base + *slot;
+        *slot = (*slot + 1) % region;
+        self.migrations += 1;
+        vec![PreventiveAction::MigrateRow {
+            bank,
+            from_row: row,
+            to_row: destination,
+        }]
+    }
+
+    fn on_refresh_tick(&mut self, _cycle: u64) {
+        self.counters.on_refresh_tick();
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::{ThresholdProvider, UniformThreshold};
+    use std::sync::Arc;
+
+    fn bank() -> BankId {
+        BankId::default()
+    }
+
+    #[test]
+    fn quarantine_region_is_at_the_top_of_the_bank() {
+        let aqua = Aqua::new(Arc::new(UniformThreshold::new(1024)), 64 * 1024);
+        assert_eq!(aqua.quarantine_rows(), 1024);
+        assert_eq!(aqua.quarantine_base(), 64 * 1024 - 1024);
+    }
+
+    #[test]
+    fn hammered_row_is_migrated_before_the_threshold() {
+        let threshold = 512u64;
+        let mut aqua = Aqua::new(Arc::new(UniformThreshold::new(threshold)), 8192);
+        let mut migrated_at = None;
+        for i in 0..threshold {
+            let actions = aqua.on_activation(bank(), 42, i);
+            if !actions.is_empty() {
+                migrated_at = Some(i);
+                match &actions[0] {
+                    PreventiveAction::MigrateRow { from_row, to_row, .. } => {
+                        assert_eq!(*from_row, 42);
+                        assert!(*to_row >= aqua.quarantine_base());
+                    }
+                    other => panic!("unexpected action {other:?}"),
+                }
+                break;
+            }
+        }
+        assert!(migrated_at.unwrap() < threshold);
+    }
+
+    #[test]
+    fn migrations_rotate_through_the_quarantine_region() {
+        let mut aqua = Aqua::new(Arc::new(UniformThreshold::new(8)), 4096);
+        let mut destinations = std::collections::BTreeSet::new();
+        for row in 0..10usize {
+            for i in 0..4u64 {
+                for a in aqua.on_activation(bank(), row, i) {
+                    if let PreventiveAction::MigrateRow { to_row, .. } = a {
+                        destinations.insert(to_row);
+                    }
+                }
+            }
+        }
+        assert!(destinations.len() >= 10.min(aqua.quarantine_rows()));
+        assert_eq!(aqua.migrations(), 10);
+    }
+
+    /// A Svärd-like provider: row 1 is weak, row 2 is strong.
+    struct TwoRows;
+    impl ThresholdProvider for TwoRows {
+        fn victim_threshold(&self, _bank: BankId, row: usize) -> u64 {
+            if row == 1 {
+                64
+            } else {
+                16 * 1024
+            }
+        }
+        fn worst_case(&self) -> u64 {
+            64
+        }
+        fn name(&self) -> &str {
+            "two-rows"
+        }
+    }
+
+    #[test]
+    fn per_row_thresholds_change_migration_frequency() {
+        let mut aqua = Aqua::new(Arc::new(TwoRows), 4096);
+        let mut weak_migrations = 0;
+        let mut strong_migrations = 0;
+        for i in 0..4096u64 {
+            if !aqua.on_activation(bank(), 1, i).is_empty() {
+                weak_migrations += 1;
+            }
+            if !aqua.on_activation(bank(), 2, i).is_empty() {
+                strong_migrations += 1;
+            }
+        }
+        assert!(weak_migrations > strong_migrations * 10);
+    }
+}

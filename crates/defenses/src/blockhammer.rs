@@ -1,0 +1,179 @@
+//! BlockHammer: blacklisting and throttling rapidly activated rows
+//! (Yağlıkçı et al., HPCA 2021).
+//!
+//! BlockHammer tracks per-row activation rates with a pair of counting Bloom
+//! filters that alternate roles every half refresh window (so stale history ages
+//! out), blacklists rows whose estimated activation count crosses a threshold, and
+//! throttles further activations of blacklisted rows so that no row can be activated
+//! more than the safe number of times within a refresh window. Its overhead is the
+//! added latency of throttled (attacker-like) activations; benign workloads rarely
+//! cross the blacklist threshold.
+
+use svard_dram::address::BankId;
+use svard_memsim::{MitigationHook, PreventiveAction};
+
+use crate::common::{CountingBloomFilter, REFRESH_TICKS_PER_WINDOW};
+use crate::provider::SharedThresholdProvider;
+
+/// Fraction of the victim threshold at which a row is blacklisted.
+const BLACKLIST_FRACTION: f64 = 0.25;
+/// Cycles per refresh window at DDR4-3200 (64 ms / 0.625 ns/cycle = 102.4 M cycles);
+/// used to spread the remaining activation budget of a blacklisted row over the rest
+/// of the window.
+const CYCLES_PER_REFRESH_WINDOW: u64 = 102_400_000;
+
+/// The BlockHammer defense.
+pub struct BlockHammer {
+    provider: SharedThresholdProvider,
+    active_filter: CountingBloomFilter,
+    aging_filter: CountingBloomFilter,
+    refresh_ticks: u64,
+    name: String,
+    throttle_events: u64,
+}
+
+impl BlockHammer {
+    /// Create BlockHammer with its default filter sizing (16K counters, 4 hashes).
+    pub fn new(provider: SharedThresholdProvider) -> Self {
+        let name = format!("BlockHammer ({})", provider.name());
+        Self {
+            provider,
+            active_filter: CountingBloomFilter::new(16 * 1024, 4),
+            aging_filter: CountingBloomFilter::new(16 * 1024, 4),
+            refresh_ticks: 0,
+            name,
+            throttle_events: 0,
+        }
+    }
+
+    /// Number of throttle decisions taken so far.
+    pub fn throttle_events(&self) -> u64 {
+        self.throttle_events
+    }
+
+    fn blacklist_threshold(&self, bank: BankId, row: usize) -> u64 {
+        ((self.provider.victim_threshold(bank, row) as f64 * BLACKLIST_FRACTION) as u64).max(1)
+    }
+}
+
+impl MitigationHook for BlockHammer {
+    fn on_activation(&mut self, bank: BankId, row: usize, cycle: u64) -> Vec<PreventiveAction> {
+        let estimate = u64::from(self.active_filter.insert(bank, row))
+            .max(u64::from(self.aging_filter.estimate(bank, row)));
+        let blacklist_at = self.blacklist_threshold(bank, row);
+        if estimate < blacklist_at {
+            return Vec::new();
+        }
+        // The row is blacklisted: spread its remaining activation budget over the
+        // remainder of the refresh window by enforcing a minimum delay between its
+        // activations.
+        self.throttle_events += 1;
+        let threshold = self.provider.victim_threshold(bank, row).max(2);
+        let min_spacing = (CYCLES_PER_REFRESH_WINDOW / threshold).max(1);
+        // Throttle harder the further past the blacklist threshold the row is.
+        let overshoot = (estimate - blacklist_at + 1).min(64);
+        vec![PreventiveAction::ThrottleRow {
+            bank,
+            row,
+            until_cycle: cycle + min_spacing * overshoot,
+        }]
+    }
+
+    fn on_refresh_tick(&mut self, _cycle: u64) {
+        self.refresh_ticks += 1;
+        // Swap and clear the filters every half refresh window, as in the paper.
+        if self.refresh_ticks >= REFRESH_TICKS_PER_WINDOW / 2 {
+            self.refresh_ticks = 0;
+            std::mem::swap(&mut self.active_filter, &mut self.aging_filter);
+            self.active_filter.clear();
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::UniformThreshold;
+    use std::sync::Arc;
+
+    fn bank() -> BankId {
+        BankId::default()
+    }
+
+    #[test]
+    fn benign_rows_are_never_throttled() {
+        let mut bh = BlockHammer::new(Arc::new(UniformThreshold::new(4096)));
+        // Touch many rows a handful of times each: all stay below the blacklist
+        // threshold of 1024.
+        for round in 0..10 {
+            for row in 0..2000 {
+                let actions = bh.on_activation(bank(), row, round * 1000);
+                assert!(actions.is_empty(), "row {row} throttled after {round} rounds");
+            }
+        }
+        assert_eq!(bh.throttle_events(), 0);
+    }
+
+    #[test]
+    fn hammered_row_gets_throttled_before_the_threshold() {
+        let threshold = 2048u64;
+        let mut bh = BlockHammer::new(Arc::new(UniformThreshold::new(threshold)));
+        let mut first_throttle_at = None;
+        for i in 0..threshold {
+            let actions = bh.on_activation(bank(), 7, i * 30);
+            if !actions.is_empty() && first_throttle_at.is_none() {
+                first_throttle_at = Some(i);
+            }
+        }
+        let at = first_throttle_at.expect("hammered row must be throttled");
+        assert!(at < threshold / 2, "throttled only after {at} activations");
+    }
+
+    #[test]
+    fn throttle_delay_scales_with_vulnerability() {
+        let weak = {
+            let mut bh = BlockHammer::new(Arc::new(UniformThreshold::new(64)));
+            let mut delay = 0;
+            for i in 0..64 {
+                for a in bh.on_activation(bank(), 3, i) {
+                    if let PreventiveAction::ThrottleRow { until_cycle, .. } = a {
+                        delay = delay.max(until_cycle - i);
+                    }
+                }
+            }
+            delay
+        };
+        let strong = {
+            let mut bh = BlockHammer::new(Arc::new(UniformThreshold::new(64 * 1024)));
+            let mut delay = 0;
+            for i in 0..64 * 1024 {
+                for a in bh.on_activation(bank(), 3, i) {
+                    if let PreventiveAction::ThrottleRow { until_cycle, .. } = a {
+                        delay = delay.max(until_cycle - i);
+                    }
+                }
+            }
+            delay
+        };
+        assert!(weak > strong * 10, "weak {weak} vs strong {strong}");
+    }
+
+    #[test]
+    fn filters_age_out_old_history() {
+        let mut bh = BlockHammer::new(Arc::new(UniformThreshold::new(1024)));
+        for i in 0..200u64 {
+            bh.on_activation(bank(), 9, i);
+        }
+        // A full refresh window of ticks clears both filters.
+        for _ in 0..REFRESH_TICKS_PER_WINDOW {
+            bh.on_refresh_tick(0);
+        }
+        // The row starts from a clean slate: the next activation is not throttled.
+        let actions = bh.on_activation(bank(), 9, 1_000_000);
+        assert!(actions.is_empty());
+    }
+}

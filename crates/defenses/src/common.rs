@@ -1,0 +1,186 @@
+//! Building blocks shared by several defenses: per-row activation counters with
+//! refresh-window epochs, and a counting Bloom filter.
+
+use std::collections::HashMap;
+use svard_dram::address::BankId;
+
+/// Number of `on_refresh_tick` callbacks (one per tREFI) per refresh window
+/// (tREFW = 8192 × tREFI for DDR4).
+pub const REFRESH_TICKS_PER_WINDOW: u64 = 8192;
+
+/// An exact per-row activation counter table, reset every refresh window.
+///
+/// Real implementations use compressed structures (Bloom filters, Misra-Gries,
+/// count-min sketches); the exact table is the reference the compressed trackers are
+/// tested against, and is also what AQUA and Hydra's per-row tables model.
+#[derive(Debug, Clone, Default)]
+pub struct ActivationCounters {
+    counts: HashMap<(BankId, usize), u64>,
+    refresh_ticks: u64,
+}
+
+impl ActivationCounters {
+    /// An empty counter table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an activation and return the updated count.
+    pub fn record(&mut self, bank: BankId, row: usize) -> u64 {
+        let c = self.counts.entry((bank, row)).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// Current count of a row.
+    pub fn get(&self, bank: BankId, row: usize) -> u64 {
+        self.counts.get(&(bank, row)).copied().unwrap_or(0)
+    }
+
+    /// Reset the counter of one row (after a preventive action protected it).
+    pub fn reset(&mut self, bank: BankId, row: usize) {
+        self.counts.remove(&(bank, row));
+    }
+
+    /// Called once per tREFI; resets all counters once per refresh window, since
+    /// the periodic refresh restores every row's charge within that window.
+    pub fn on_refresh_tick(&mut self) {
+        self.refresh_ticks += 1;
+        if self.refresh_ticks >= REFRESH_TICKS_PER_WINDOW {
+            self.refresh_ticks = 0;
+            self.counts.clear();
+        }
+    }
+
+    /// Number of rows currently tracked.
+    pub fn tracked_rows(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// A counting Bloom filter over `(bank, row)` keys, as used by BlockHammer's
+/// RowBlocker (two of these operate in alternating epochs).
+#[derive(Debug, Clone)]
+pub struct CountingBloomFilter {
+    counters: Vec<u32>,
+    num_hashes: usize,
+}
+
+impl CountingBloomFilter {
+    /// Create a filter with `counters` counters and `num_hashes` hash functions.
+    pub fn new(counters: usize, num_hashes: usize) -> Self {
+        assert!(counters > 0 && num_hashes > 0);
+        Self {
+            counters: vec![0; counters],
+            num_hashes,
+        }
+    }
+
+    fn indices(&self, bank: BankId, row: usize) -> Vec<usize> {
+        let key = ((bank.channel as u64) << 48)
+            ^ ((bank.rank as u64) << 40)
+            ^ ((bank.bank_group as u64) << 36)
+            ^ ((bank.bank as u64) << 32)
+            ^ row as u64;
+        (0..self.num_hashes)
+            .map(|i| {
+                let mut x = key ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                x ^= x >> 33;
+                x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                x ^= x >> 33;
+                (x % self.counters.len() as u64) as usize
+            })
+            .collect()
+    }
+
+    /// Increment the key's counters and return the new estimated count.
+    pub fn insert(&mut self, bank: BankId, row: usize) -> u32 {
+        let idx = self.indices(bank, row);
+        for &i in &idx {
+            self.counters[i] = self.counters[i].saturating_add(1);
+        }
+        idx.iter().map(|&i| self.counters[i]).min().unwrap_or(0)
+    }
+
+    /// Estimated count of a key (an overestimate, never an underestimate).
+    pub fn estimate(&self, bank: BankId, row: usize) -> u32 {
+        self.indices(bank, row)
+            .iter()
+            .map(|&i| self.counters[i])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Clear all counters (epoch turnover).
+    pub fn clear(&mut self) {
+        self.counters.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> BankId {
+        BankId::default()
+    }
+
+    #[test]
+    fn counters_count_and_reset() {
+        let mut c = ActivationCounters::new();
+        assert_eq!(c.record(bank(), 5), 1);
+        assert_eq!(c.record(bank(), 5), 2);
+        assert_eq!(c.get(bank(), 5), 2);
+        assert_eq!(c.get(bank(), 6), 0);
+        c.reset(bank(), 5);
+        assert_eq!(c.get(bank(), 5), 0);
+    }
+
+    #[test]
+    fn counters_clear_every_refresh_window() {
+        let mut c = ActivationCounters::new();
+        c.record(bank(), 1);
+        for _ in 0..REFRESH_TICKS_PER_WINDOW - 1 {
+            c.on_refresh_tick();
+        }
+        assert_eq!(c.get(bank(), 1), 1);
+        c.on_refresh_tick();
+        assert_eq!(c.get(bank(), 1), 0);
+        assert_eq!(c.tracked_rows(), 0);
+    }
+
+    #[test]
+    fn bloom_filter_never_underestimates() {
+        let mut f = CountingBloomFilter::new(1024, 4);
+        for _ in 0..100 {
+            f.insert(bank(), 42);
+        }
+        for row in 0..50 {
+            f.insert(bank(), row);
+        }
+        assert!(f.estimate(bank(), 42) >= 100);
+        // Other rows may alias but are never *under*-counted.
+        for row in 0..50 {
+            assert!(f.estimate(bank(), row) >= 1);
+        }
+    }
+
+    #[test]
+    fn bloom_filter_estimates_are_reasonably_tight() {
+        let mut f = CountingBloomFilter::new(16 * 1024, 4);
+        for row in 0..1000 {
+            f.insert(bank(), row);
+        }
+        // A row inserted once should not look like a hot row.
+        let overestimates = (0..1000).filter(|&r| f.estimate(bank(), r) > 5).count();
+        assert!(overestimates < 50, "{overestimates} rows grossly overestimated");
+    }
+
+    #[test]
+    fn bloom_filter_clear_resets_estimates() {
+        let mut f = CountingBloomFilter::new(256, 3);
+        f.insert(bank(), 7);
+        f.clear();
+        assert_eq!(f.estimate(bank(), 7), 0);
+    }
+}

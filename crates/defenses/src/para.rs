@@ -1,0 +1,163 @@
+//! PARA: Probabilistic Adjacent Row Activation (Kim et al., ISCA 2014).
+//!
+//! On every row activation, with a small probability `p`, the memory controller
+//! refreshes the activated row's neighbours. The probability is chosen so that the
+//! chance of an aggressor reaching the victims' disturbance threshold without a
+//! single preventive refresh is negligible. A smaller threshold therefore requires a
+//! larger `p` — and thus more preventive refreshes and more slowdown — which is
+//! exactly the lever Svärd relaxes for rows that can tolerate more activations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use svard_dram::address::BankId;
+use svard_memsim::{MitigationHook, PreventiveAction};
+
+use crate::provider::SharedThresholdProvider;
+
+/// Safety exponent: `p` is chosen such that the expected number of preventive
+/// refreshes over `threshold` activations is `SAFETY_FACTOR`, making the probability
+/// of zero refreshes `e^-SAFETY_FACTOR`.
+const SAFETY_FACTOR: f64 = 20.0;
+
+/// The PARA defense.
+pub struct Para {
+    provider: SharedThresholdProvider,
+    rng: StdRng,
+    name: String,
+    preventive_refreshes: u64,
+}
+
+impl Para {
+    /// Create PARA on top of a threshold provider.
+    pub fn new(provider: SharedThresholdProvider, seed: u64) -> Self {
+        let name = format!("PARA ({})", provider.name());
+        Self {
+            provider,
+            rng: StdRng::seed_from_u64(seed ^ 0x9A7A_7A7A),
+            name,
+            preventive_refreshes: 0,
+        }
+    }
+
+    /// The refresh probability used for an activation of `row` in `bank`.
+    pub fn refresh_probability(&self, bank: BankId, row: usize) -> f64 {
+        let threshold = self.provider.victim_threshold(bank, row).max(2);
+        (SAFETY_FACTOR / threshold as f64).min(1.0)
+    }
+
+    /// Number of preventive refreshes issued so far.
+    pub fn preventive_refreshes(&self) -> u64 {
+        self.preventive_refreshes
+    }
+}
+
+impl MitigationHook for Para {
+    fn on_activation(&mut self, bank: BankId, row: usize, _cycle: u64) -> Vec<PreventiveAction> {
+        let p = self.refresh_probability(bank, row);
+        if self.rng.random::<f64>() < p {
+            self.preventive_refreshes += 2;
+            vec![
+                PreventiveAction::RefreshRow {
+                    bank,
+                    row: row.saturating_sub(1),
+                },
+                PreventiveAction::RefreshRow { bank, row: row + 1 },
+            ]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::{ThresholdProvider, UniformThreshold};
+    use std::sync::Arc;
+
+    #[test]
+    fn refresh_probability_scales_inversely_with_threshold() {
+        let weak = Para::new(Arc::new(UniformThreshold::new(64)), 1);
+        let strong = Para::new(Arc::new(UniformThreshold::new(64 * 1024)), 1);
+        let b = BankId::default();
+        assert!(weak.refresh_probability(b, 0) > strong.refresh_probability(b, 0) * 100.0);
+        assert!(weak.refresh_probability(b, 0) <= 1.0);
+    }
+
+    #[test]
+    fn observed_refresh_rate_matches_probability() {
+        let mut para = Para::new(Arc::new(UniformThreshold::new(1000)), 3);
+        let b = BankId::default();
+        let n = 200_000;
+        let mut refresh_events = 0;
+        for i in 0..n {
+            if !para.on_activation(b, i % 512, 0).is_empty() {
+                refresh_events += 1;
+            }
+        }
+        let rate = refresh_events as f64 / n as f64;
+        let expected = SAFETY_FACTOR / 1000.0;
+        assert!((rate - expected).abs() < expected * 0.15, "rate {rate} vs {expected}");
+    }
+
+    /// A provider that marks even rows weak and odd rows strong.
+    struct EvenWeak;
+    impl ThresholdProvider for EvenWeak {
+        fn victim_threshold(&self, _bank: BankId, row: usize) -> u64 {
+            if row % 2 == 0 {
+                128
+            } else {
+                64 * 1024
+            }
+        }
+        fn worst_case(&self) -> u64 {
+            128
+        }
+        fn name(&self) -> &str {
+            "even-weak"
+        }
+    }
+
+    #[test]
+    fn svard_style_provider_reduces_refreshes_for_strong_rows() {
+        let mut para = Para::new(Arc::new(EvenWeak), 9);
+        let b = BankId::default();
+        let mut weak_refreshes = 0;
+        let mut strong_refreshes = 0;
+        for i in 0..100_000 {
+            let row = i % 1000;
+            let refreshed = !para.on_activation(b, row, 0).is_empty();
+            if refreshed {
+                if row % 2 == 0 {
+                    weak_refreshes += 1;
+                } else {
+                    strong_refreshes += 1;
+                }
+            }
+        }
+        assert!(
+            weak_refreshes > strong_refreshes * 20,
+            "weak {weak_refreshes} strong {strong_refreshes}"
+        );
+    }
+
+    #[test]
+    fn refreshes_target_both_neighbours() {
+        // With threshold 2 the probability is 1.0: every activation refreshes.
+        let mut para = Para::new(Arc::new(UniformThreshold::new(2)), 5);
+        let actions = para.on_activation(BankId::default(), 50, 0);
+        assert_eq!(actions.len(), 2);
+        let rows: Vec<usize> = actions
+            .iter()
+            .map(|a| match a {
+                PreventiveAction::RefreshRow { row, .. } => *row,
+                _ => panic!("PARA only refreshes"),
+            })
+            .collect();
+        assert_eq!(rows, vec![49, 51]);
+    }
+}

@@ -1,0 +1,194 @@
+//! DRAM address types.
+
+use std::fmt;
+
+/// A fully qualified DRAM address: channel, rank, bank group, bank, row, column.
+///
+/// Rows are *logical* row addresses as seen over the DRAM interface; the in-DRAM
+/// scrambling that maps them to physical row locations is modelled by
+/// [`crate::mapping::RowScramble`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DramAddress {
+    /// Memory channel index.
+    pub channel: usize,
+    /// Rank index within the channel.
+    pub rank: usize,
+    /// Bank group index within the rank.
+    pub bank_group: usize,
+    /// Bank index within the bank group.
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: usize,
+    /// Column (cache-line) index within the row.
+    pub column: usize,
+}
+
+impl DramAddress {
+    /// Construct an address within bank 0 of channel/rank 0, the common case in
+    /// single-bank characterization tests.
+    pub fn row_in_bank0(row: usize) -> Self {
+        Self {
+            row,
+            ..Self::default()
+        }
+    }
+
+    /// Return the same address with a different row.
+    pub fn with_row(&self, row: usize) -> Self {
+        Self {
+            row,
+            ..self.clone()
+        }
+    }
+
+    /// Return the same address with a different column.
+    pub fn with_column(&self, column: usize) -> Self {
+        Self {
+            column,
+            ..self.clone()
+        }
+    }
+
+    /// True if `other` addresses the same bank (ignoring row and column).
+    pub fn same_bank(&self, other: &Self) -> bool {
+        self.channel == other.channel
+            && self.rank == other.rank
+            && self.bank_group == other.bank_group
+            && self.bank == other.bank
+    }
+
+    /// The bank coordinates of this address (row and column zeroed).
+    pub fn bank_id(&self) -> BankId {
+        BankId {
+            channel: self.channel,
+            rank: self.rank,
+            bank_group: self.bank_group,
+            bank: self.bank,
+        }
+    }
+}
+
+impl fmt::Display for DramAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/ra{}/bg{}/ba{}/row{}/col{}",
+            self.channel, self.rank, self.bank_group, self.bank, self.row, self.column
+        )
+    }
+}
+
+/// Identifies a single DRAM bank (no row/column component).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BankId {
+    /// Memory channel index.
+    pub channel: usize,
+    /// Rank index within the channel.
+    pub rank: usize,
+    /// Bank group index within the rank.
+    pub bank_group: usize,
+    /// Bank index within the bank group.
+    pub bank: usize,
+}
+
+impl BankId {
+    /// Bank index within the rank, in `[0, banks_per_rank)` assuming 4 banks per group.
+    pub fn index_in_rank(&self, banks_per_group: usize) -> usize {
+        self.bank_group * banks_per_group + self.bank
+    }
+}
+
+impl fmt::Display for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/ra{}/bg{}/ba{}",
+            self.channel, self.rank, self.bank_group, self.bank
+        )
+    }
+}
+
+/// A row index within a bank. Plain `usize` newtype used where mixing up rows and
+/// other indices would be easy (e.g. victim vs. aggressor bookkeeping).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub usize);
+
+impl RowId {
+    /// The two physically adjacent neighbours of this row (`row - 1`, `row + 1`),
+    /// clipped to the bank bounds. Rows at the bank/subarray edge have one neighbour.
+    pub fn neighbours(&self, rows_per_bank: usize) -> Vec<RowId> {
+        let mut out = Vec::with_capacity(2);
+        if self.0 > 0 {
+            out.push(RowId(self.0 - 1));
+        }
+        if self.0 + 1 < rows_per_bank {
+            out.push(RowId(self.0 + 1));
+        }
+        out
+    }
+}
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "row{}", self.0)
+    }
+}
+
+impl From<usize> for RowId {
+    fn from(v: usize) -> Self {
+        RowId(v)
+    }
+}
+
+impl From<RowId> for usize {
+    fn from(v: RowId) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_bank_ignores_row_and_column() {
+        let a = DramAddress::row_in_bank0(10);
+        let b = a.with_row(99).with_column(5);
+        assert!(a.same_bank(&b));
+        let mut c = b.clone();
+        c.bank = 3;
+        assert!(!a.same_bank(&c));
+    }
+
+    #[test]
+    fn neighbours_clip_at_edges() {
+        assert_eq!(RowId(0).neighbours(128), vec![RowId(1)]);
+        assert_eq!(RowId(127).neighbours(128), vec![RowId(126)]);
+        assert_eq!(RowId(64).neighbours(128), vec![RowId(63), RowId(65)]);
+    }
+
+    #[test]
+    fn bank_index_in_rank() {
+        let b = BankId {
+            channel: 0,
+            rank: 0,
+            bank_group: 2,
+            bank: 3,
+        };
+        assert_eq!(b.index_in_rank(4), 11);
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        let a = DramAddress {
+            channel: 1,
+            rank: 0,
+            bank_group: 2,
+            bank: 3,
+            row: 42,
+            column: 7,
+        };
+        assert_eq!(a.to_string(), "ch1/ra0/bg2/ba3/row42/col7");
+        assert_eq!(RowId(5).to_string(), "row5");
+    }
+}

@@ -1,0 +1,139 @@
+//! The DDR4 command set used by both the characterization harness and the
+//! cycle-level memory controller.
+
+use crate::address::{BankId, DramAddress};
+use std::fmt;
+
+/// A DRAM command as issued over the command/address bus.
+///
+/// The characterization harness (`svard-bender`) builds explicit command streams
+/// (Algorithm 1 of the paper); the memory controller (`svard-memsim`) issues these
+/// commands subject to DDR4 timing constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DramCommand {
+    /// Activate (open) a row: latch its contents into the row buffer.
+    Activate(DramAddress),
+    /// Precharge (close) the open row of one bank.
+    Precharge(BankId),
+    /// Precharge all banks of a rank.
+    PrechargeAll { channel: usize, rank: usize },
+    /// Read a column of the open row.
+    Read(DramAddress),
+    /// Write a column of the open row.
+    Write(DramAddress),
+    /// Rank-level auto-refresh.
+    Refresh { channel: usize, rank: usize },
+    /// Wait for a given number of nanoseconds (test programs only).
+    WaitNs(f64),
+}
+
+impl DramCommand {
+    /// Short mnemonic, as used in DDR4 datasheets and in the paper's Algorithm 1.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            DramCommand::Activate(_) => "ACT",
+            DramCommand::Precharge(_) => "PRE",
+            DramCommand::PrechargeAll { .. } => "PREA",
+            DramCommand::Read(_) => "RD",
+            DramCommand::Write(_) => "WR",
+            DramCommand::Refresh { .. } => "REF",
+            DramCommand::WaitNs(_) => "WAIT",
+        }
+    }
+
+    /// The bank this command targets, if it targets a single bank.
+    pub fn bank(&self) -> Option<BankId> {
+        match self {
+            DramCommand::Activate(a) | DramCommand::Read(a) | DramCommand::Write(a) => {
+                Some(a.bank_id())
+            }
+            DramCommand::Precharge(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True for commands that open a row.
+    pub fn is_activate(&self) -> bool {
+        matches!(self, DramCommand::Activate(_))
+    }
+
+    /// True for column (data-moving) commands.
+    pub fn is_column(&self) -> bool {
+        matches!(self, DramCommand::Read(_) | DramCommand::Write(_))
+    }
+}
+
+impl fmt::Display for DramCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramCommand::Activate(a) => write!(f, "ACT {a}"),
+            DramCommand::Precharge(b) => write!(f, "PRE {b}"),
+            DramCommand::PrechargeAll { channel, rank } => write!(f, "PREA ch{channel}/ra{rank}"),
+            DramCommand::Read(a) => write!(f, "RD {a}"),
+            DramCommand::Write(a) => write!(f, "WR {a}"),
+            DramCommand::Refresh { channel, rank } => write!(f, "REF ch{channel}/ra{rank}"),
+            DramCommand::WaitNs(ns) => write!(f, "WAIT {ns}ns"),
+        }
+    }
+}
+
+/// The type of memory request the CPU side sends to the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// A demand read (load miss / fetch miss).
+    Read,
+    /// A writeback.
+    Write,
+}
+
+impl fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestKind::Read => write!(f, "read"),
+            RequestKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics() {
+        let a = DramAddress::row_in_bank0(3);
+        assert_eq!(DramCommand::Activate(a.clone()).mnemonic(), "ACT");
+        assert_eq!(DramCommand::Read(a.clone()).mnemonic(), "RD");
+        assert_eq!(DramCommand::Precharge(a.bank_id()).mnemonic(), "PRE");
+        assert_eq!(DramCommand::WaitNs(36.0).mnemonic(), "WAIT");
+    }
+
+    #[test]
+    fn bank_extraction() {
+        let a = DramAddress {
+            channel: 0,
+            rank: 1,
+            bank_group: 2,
+            bank: 3,
+            row: 4,
+            column: 5,
+        };
+        assert_eq!(DramCommand::Activate(a.clone()).bank(), Some(a.bank_id()));
+        assert_eq!(
+            DramCommand::Refresh {
+                channel: 0,
+                rank: 1
+            }
+            .bank(),
+            None
+        );
+    }
+
+    #[test]
+    fn activate_and_column_predicates() {
+        let a = DramAddress::row_in_bank0(3);
+        assert!(DramCommand::Activate(a.clone()).is_activate());
+        assert!(!DramCommand::Activate(a.clone()).is_column());
+        assert!(DramCommand::Write(a).is_column());
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types shared across the DRAM substrate.
+
+use crate::address::DramAddress;
+use std::fmt;
+
+/// Errors raised by the DRAM substrate crates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DramError {
+    /// An address does not fit in the configured geometry.
+    AddressOutOfBounds {
+        /// The offending address.
+        address: DramAddress,
+    },
+    /// A command was issued that is illegal in the bank's current state
+    /// (e.g. `RD` to a precharged bank, `ACT` to an already-open bank).
+    ProtocolViolation {
+        /// Human-readable description of the violated rule.
+        reason: String,
+    },
+    /// A timing constraint was violated (only checked by the strict command-level
+    /// interfaces; the cycle-level controller never issues early commands).
+    TimingViolation {
+        /// Name of the violated parameter, e.g. `"tRCD"`.
+        parameter: &'static str,
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A configuration is internally inconsistent (e.g. zero rows per bank).
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::AddressOutOfBounds { address } => {
+                write!(f, "DRAM address out of bounds: {address}")
+            }
+            DramError::ProtocolViolation { reason } => {
+                write!(f, "DRAM protocol violation: {reason}")
+            }
+            DramError::TimingViolation { parameter, reason } => {
+                write!(f, "DRAM timing violation ({parameter}): {reason}")
+            }
+            DramError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = DramError::TimingViolation {
+            parameter: "tRCD",
+            reason: "RD issued 3 cycles after ACT".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("tRCD"));
+        assert!(s.contains("RD issued"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&DramError::InvalidConfig {
+            reason: "zero rows".into(),
+        });
+    }
+}

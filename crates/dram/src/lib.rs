@@ -1,0 +1,93 @@
+//! Fundamental DRAM types shared by every crate in the Svärd reproduction.
+//!
+//! This crate models the *organization* of a DDR4 memory system (channels, ranks,
+//! bank groups, banks, rows, columns), the DDR4 command set and timing parameters,
+//! the data patterns used by read-disturbance characterization (Table 2 of the
+//! paper), in-DRAM row-address scrambling, and the physical-address-to-DRAM-address
+//! mapping schemes used by the memory controller.
+//!
+//! It deliberately contains no behaviour beyond address arithmetic: the behavioural
+//! DRAM device model lives in `svard-chip` and the cycle-level timing model in
+//! `svard-memsim`.
+//!
+//! # Example
+//!
+//! ```
+//! use svard_dram::{DramGeometry, DramAddress, pattern::DataPattern};
+//!
+//! let geom = DramGeometry::ddr4_8gb_x8();
+//! assert_eq!(geom.banks_per_rank(), 16);
+//! let addr = DramAddress { channel: 0, rank: 0, bank_group: 1, bank: 2, row: 77, column: 3 };
+//! let flat = geom.flatten_bank(&addr);
+//! assert!(flat < geom.total_banks());
+//! assert_eq!(DataPattern::RowStripe.inverse(), DataPattern::RowStripeInverse);
+//! ```
+
+pub mod address;
+pub mod command;
+pub mod error;
+pub mod geometry;
+pub mod mapping;
+pub mod pattern;
+pub mod timing;
+
+pub use address::{BankId, DramAddress, RowId};
+pub use command::DramCommand;
+pub use error::DramError;
+pub use geometry::DramGeometry;
+pub use pattern::DataPattern;
+pub use timing::TimingParams;
+
+/// Number of tested hammer counts in the paper's characterization sweep
+/// (Algorithm 1): 1K, 2K, 4K, 8K, 12K, 16K, 24K, 32K, 40K, 48K, 56K, 64K, 96K, 128K.
+///
+/// Following the paper, "K" is 2^10, not 10^3.
+pub const HAMMER_COUNT_GRID: [u64; 14] = [
+    1 << 10,
+    2 << 10,
+    4 << 10,
+    8 << 10,
+    12 << 10,
+    16 << 10,
+    24 << 10,
+    32 << 10,
+    40 << 10,
+    48 << 10,
+    56 << 10,
+    64 << 10,
+    96 << 10,
+    128 << 10,
+];
+
+/// The aggressor-row on-time values (in nanoseconds) swept by the paper's
+/// characterization: the minimum `tRAS` (36 ns), a realistic row-buffer-hit
+/// window (0.5 µs), and a streaming window (2 µs).
+pub const T_AGG_ON_GRID_NS: [f64; 3] = [36.0, 500.0, 2000.0];
+
+/// Representative banks tested by the paper, one from each DDR4 bank group.
+pub const TESTED_BANKS: [usize; 4] = [1, 4, 10, 15];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hammer_grid_is_sorted_and_binary_k() {
+        assert!(HAMMER_COUNT_GRID.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(HAMMER_COUNT_GRID[0], 1024);
+        assert_eq!(*HAMMER_COUNT_GRID.last().unwrap(), 128 * 1024);
+    }
+
+    #[test]
+    fn tested_banks_cover_all_bank_groups() {
+        // DDR4 x8: 4 bank groups of 4 banks; bank group = bank / 4.
+        let groups: std::collections::BTreeSet<usize> =
+            TESTED_BANKS.iter().map(|b| b / 4).collect();
+        assert_eq!(groups.len(), 4);
+    }
+
+    #[test]
+    fn t_agg_on_grid_matches_paper() {
+        assert_eq!(T_AGG_ON_GRID_NS, [36.0, 500.0, 2000.0]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Data patterns used for read-disturbance characterization (Table 2 of the paper).
+//!
+//! A data pattern fixes the byte written to every cell of the aggressor rows and the
+//! (usually opposite) byte written to the victim row, maximizing the cell-to-cell
+//! coupling that read disturbance exploits.
+
+/// The six data patterns of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataPattern {
+    /// Aggressors 0xFF, victim 0x00.
+    RowStripe,
+    /// Aggressors 0x00, victim 0xFF.
+    RowStripeInverse,
+    /// Aggressors 0xAA, victim 0xAA.
+    ColumnStripe,
+    /// Aggressors 0x55, victim 0x55.
+    ColumnStripeInverse,
+    /// Aggressors 0xAA, victim 0x55.
+    Checkerboard,
+    /// Aggressors 0x55, victim 0xAA.
+    CheckerboardInverse,
+}
+
+impl DataPattern {
+    /// All six patterns, in the order the paper lists them.
+    pub const ALL: [DataPattern; 6] = [
+        DataPattern::RowStripe,
+        DataPattern::RowStripeInverse,
+        DataPattern::ColumnStripe,
+        DataPattern::ColumnStripeInverse,
+        DataPattern::Checkerboard,
+        DataPattern::CheckerboardInverse,
+    ];
+
+    /// The byte written to every aggressor-row cell.
+    pub fn aggressor_byte(&self) -> u8 {
+        match self {
+            DataPattern::RowStripe => 0xFF,
+            DataPattern::RowStripeInverse => 0x00,
+            DataPattern::ColumnStripe => 0xAA,
+            DataPattern::ColumnStripeInverse => 0x55,
+            DataPattern::Checkerboard => 0xAA,
+            DataPattern::CheckerboardInverse => 0x55,
+        }
+    }
+
+    /// The byte written to every victim-row cell.
+    pub fn victim_byte(&self) -> u8 {
+        match self {
+            DataPattern::RowStripe => 0x00,
+            DataPattern::RowStripeInverse => 0xFF,
+            DataPattern::ColumnStripe => 0xAA,
+            DataPattern::ColumnStripeInverse => 0x55,
+            DataPattern::Checkerboard => 0x55,
+            DataPattern::CheckerboardInverse => 0xAA,
+        }
+    }
+
+    /// The pattern with aggressor and victim bytes bitwise inverted.
+    pub fn inverse(&self) -> DataPattern {
+        match self {
+            DataPattern::RowStripe => DataPattern::RowStripeInverse,
+            DataPattern::RowStripeInverse => DataPattern::RowStripe,
+            DataPattern::ColumnStripe => DataPattern::ColumnStripeInverse,
+            DataPattern::ColumnStripeInverse => DataPattern::ColumnStripe,
+            DataPattern::Checkerboard => DataPattern::CheckerboardInverse,
+            DataPattern::CheckerboardInverse => DataPattern::Checkerboard,
+        }
+    }
+
+    /// Short label used in experiment output ("RS", "RSI", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DataPattern::RowStripe => "RS",
+            DataPattern::RowStripeInverse => "RSI",
+            DataPattern::ColumnStripe => "CS",
+            DataPattern::ColumnStripeInverse => "CSI",
+            DataPattern::Checkerboard => "CB",
+            DataPattern::CheckerboardInverse => "CBI",
+        }
+    }
+
+    /// A data-pattern-dependent *coupling factor* in `(0, 1]` describing how strongly
+    /// the pattern exacerbates read disturbance relative to the worst case.
+    ///
+    /// Row-stripe-style patterns (opposite charge in aggressor and victim rows) are
+    /// the most effective, checkerboard next, and column stripe — where aggressor and
+    /// victim store the same values — the least, consistent with prior
+    /// characterization work cited by the paper.
+    pub fn coupling_factor(&self) -> f64 {
+        match self {
+            DataPattern::RowStripe | DataPattern::RowStripeInverse => 1.0,
+            DataPattern::Checkerboard | DataPattern::CheckerboardInverse => 0.82,
+            DataPattern::ColumnStripe | DataPattern::ColumnStripeInverse => 0.55,
+        }
+    }
+
+    /// True if the aggressor and victim bytes are bit-wise opposite in every position.
+    pub fn is_opposite_polarity(&self) -> bool {
+        self.aggressor_byte() ^ self.victim_byte() == 0xFF
+    }
+}
+
+impl std::fmt::Display for DataPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_bytes() {
+        assert_eq!(DataPattern::RowStripe.aggressor_byte(), 0xFF);
+        assert_eq!(DataPattern::RowStripe.victim_byte(), 0x00);
+        assert_eq!(DataPattern::Checkerboard.aggressor_byte(), 0xAA);
+        assert_eq!(DataPattern::Checkerboard.victim_byte(), 0x55);
+        assert_eq!(DataPattern::ColumnStripeInverse.victim_byte(), 0x55);
+    }
+
+    #[test]
+    fn inverse_is_an_involution() {
+        for p in DataPattern::ALL {
+            assert_eq!(p.inverse().inverse(), p);
+            assert_eq!(p.inverse().aggressor_byte(), !p.aggressor_byte());
+            assert_eq!(p.inverse().victim_byte(), !p.victim_byte());
+        }
+    }
+
+    #[test]
+    fn row_stripe_and_checkerboard_are_opposite_polarity() {
+        assert!(DataPattern::RowStripe.is_opposite_polarity());
+        assert!(DataPattern::Checkerboard.is_opposite_polarity());
+        assert!(!DataPattern::ColumnStripe.is_opposite_polarity());
+    }
+
+    #[test]
+    fn coupling_factors_are_ordered() {
+        assert!(
+            DataPattern::RowStripe.coupling_factor() > DataPattern::Checkerboard.coupling_factor()
+        );
+        assert!(
+            DataPattern::Checkerboard.coupling_factor()
+                > DataPattern::ColumnStripe.coupling_factor()
+        );
+        for p in DataPattern::ALL {
+            let c = p.coupling_factor();
+            assert!(c > 0.0 && c <= 1.0);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::BTreeSet<&str> =
+            DataPattern::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 6);
+    }
+}

@@ -1,0 +1,102 @@
+//! The interface between the memory controller and a read-disturbance defense.
+//!
+//! Following Fig. 11, the controller notifies the defense of every row activation it
+//! issues; the defense returns zero or more *preventive actions*, whose DRAM-level
+//! cost the controller then pays. Svärd plugs in underneath the defense by changing
+//! the threshold the defense compares against — the controller is oblivious to it.
+
+use svard_dram::address::BankId;
+
+/// A preventive action requested by a read-disturbance defense in response to a row
+/// activation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PreventiveAction {
+    /// Refresh one victim row (costs one activate/precharge cycle on the bank).
+    RefreshRow {
+        /// Bank containing the victim.
+        bank: BankId,
+        /// Victim row address.
+        row: usize,
+    },
+    /// Block further activations of a row until the given cycle (BlockHammer-style
+    /// throttling). Requests to that row stay in the queue but are not scheduled.
+    ThrottleRow {
+        /// Bank containing the throttled row.
+        bank: BankId,
+        /// Throttled (aggressor) row address.
+        row: usize,
+        /// First cycle at which the row may be activated again.
+        until_cycle: u64,
+    },
+    /// Move the contents of a row to another row in the same bank (AQUA-style
+    /// quarantine). Costs a read-out and write-back of the full row.
+    MigrateRow {
+        /// Bank containing both rows.
+        bank: BankId,
+        /// Source row.
+        from_row: usize,
+        /// Destination row.
+        to_row: usize,
+    },
+    /// Swap the contents of two rows (RRS-style randomized row swap). Costs two row
+    /// migrations.
+    SwapRows {
+        /// Bank containing both rows.
+        bank: BankId,
+        /// First row.
+        row_a: usize,
+        /// Second row.
+        row_b: usize,
+    },
+    /// Extra DRAM traffic that is not a row refresh (e.g. Hydra's row-count-table
+    /// reads and write-backs). Modeled as additional column accesses on the bank.
+    ExtraTraffic {
+        /// Bank receiving the traffic.
+        bank: BankId,
+        /// Number of extra column accesses.
+        accesses: u32,
+    },
+}
+
+/// A read-disturbance defense as seen by the memory controller.
+///
+/// Implementations live in `svard-defenses`; [`NoMitigation`] is the paper's
+/// baseline configuration with no defense at all.
+pub trait MitigationHook {
+    /// Called for every row activation the controller issues. Returns the preventive
+    /// actions the controller must execute.
+    fn on_activation(&mut self, bank: BankId, row: usize, cycle: u64) -> Vec<PreventiveAction>;
+
+    /// Called once per refresh interval (tREFI), letting periodic mechanisms reset
+    /// epoch state.
+    fn on_refresh_tick(&mut self, _cycle: u64) {}
+
+    /// Human-readable name used in experiment output.
+    fn name(&self) -> &str;
+}
+
+/// The no-defense baseline: never requests any preventive action.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoMitigation;
+
+impl MitigationHook for NoMitigation {
+    fn on_activation(&mut self, _bank: BankId, _row: usize, _cycle: u64) -> Vec<PreventiveAction> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &str {
+        "baseline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_mitigation_is_free() {
+        let mut m = NoMitigation;
+        assert!(m.on_activation(BankId::default(), 5, 100).is_empty());
+        assert_eq!(m.name(), "baseline");
+    }
+}

@@ -1,0 +1,116 @@
+//! Bank- and rank-level timing state.
+
+use svard_dram::TimingParams;
+
+/// Timing state of one DRAM bank.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BankTiming {
+    /// The currently open row, if any.
+    pub open_row: Option<usize>,
+    /// Cycle of the most recent activation (for tRAS accounting).
+    pub last_act_cycle: u64,
+    /// First cycle at which the bank can accept a new command.
+    pub ready_cycle: u64,
+    /// Number of consecutive row hits served since the last activation (for the
+    /// FR-FCFS column cap).
+    pub consecutive_hits: u32,
+    /// Number of activations issued to this bank (statistics / defenses).
+    pub activations: u64,
+}
+
+impl BankTiming {
+    /// True if `row` is currently open in this bank.
+    pub fn is_open(&self, row: usize) -> bool {
+        self.open_row == Some(row)
+    }
+
+    /// Mark the bank busy until `cycle`.
+    pub fn occupy_until(&mut self, cycle: u64) {
+        self.ready_cycle = self.ready_cycle.max(cycle);
+    }
+}
+
+/// Rank-level activation bookkeeping: tRRD spacing and the four-activate window.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankTiming {
+    /// Cycles of the most recent activations (up to 4 kept, for tFAW).
+    recent_acts: Vec<u64>,
+    /// Cycle at which the rank finishes its current refresh, if any.
+    pub refresh_busy_until: u64,
+}
+
+impl RankTiming {
+    /// Earliest cycle at which a new activation may be issued to this rank, given
+    /// tRRD (approximated with the same-bank-group value) and tFAW.
+    pub fn next_act_allowed(&self, timing: &TimingParams) -> u64 {
+        let mut earliest = self.refresh_busy_until;
+        if let Some(&last) = self.recent_acts.last() {
+            earliest = earliest.max(last + timing.t_rrd_l());
+        }
+        if self.recent_acts.len() >= 4 {
+            let fourth_last = self.recent_acts[self.recent_acts.len() - 4];
+            earliest = earliest.max(fourth_last + timing.t_faw());
+        }
+        earliest
+    }
+
+    /// Record an activation at `cycle`.
+    pub fn record_act(&mut self, cycle: u64) {
+        self.recent_acts.push(cycle);
+        if self.recent_acts.len() > 4 {
+            self.recent_acts.remove(0);
+        }
+    }
+
+    /// Begin a refresh at `cycle`, blocking the rank for tRFC.
+    pub fn begin_refresh(&mut self, cycle: u64, timing: &TimingParams) {
+        self.refresh_busy_until = self.refresh_busy_until.max(cycle + timing.t_rfc());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_open_row_tracking() {
+        let mut b = BankTiming::default();
+        assert!(!b.is_open(3));
+        b.open_row = Some(3);
+        assert!(b.is_open(3));
+        assert!(!b.is_open(4));
+        b.occupy_until(100);
+        b.occupy_until(50);
+        assert_eq!(b.ready_cycle, 100);
+    }
+
+    #[test]
+    fn rank_enforces_trrd() {
+        let t = TimingParams::ddr4_3200();
+        let mut r = RankTiming::default();
+        assert_eq!(r.next_act_allowed(&t), 0);
+        r.record_act(100);
+        assert_eq!(r.next_act_allowed(&t), 100 + t.t_rrd_l());
+    }
+
+    #[test]
+    fn rank_enforces_tfaw() {
+        let t = TimingParams::ddr4_3200();
+        let mut r = RankTiming::default();
+        for c in [100, 110, 120, 130] {
+            r.record_act(c);
+        }
+        // The 5th activation must wait until the 1st + tFAW (and at least tRRD after
+        // the 4th).
+        let earliest = r.next_act_allowed(&t);
+        assert!(earliest >= 100 + t.t_faw());
+    }
+
+    #[test]
+    fn refresh_blocks_the_rank() {
+        let t = TimingParams::ddr4_3200();
+        let mut r = RankTiming::default();
+        r.begin_refresh(1000, &t);
+        assert_eq!(r.next_act_allowed(&t), 1000 + t.t_rfc());
+    }
+}

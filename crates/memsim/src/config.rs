@@ -1,0 +1,94 @@
+//! Memory-system configuration (Table 4 of the paper).
+
+use svard_dram::mapping::AddressMapper;
+use svard_dram::{DramGeometry, TimingParams};
+
+/// Configuration of the simulated memory system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryConfig {
+    /// DRAM organization.
+    pub geometry: DramGeometry,
+    /// DDR4 timing parameters.
+    pub timing: TimingParams,
+    /// Physical-address interleaving scheme (Table 4: MOP).
+    pub mapper: AddressMapper,
+    /// Read-queue capacity (Table 4: 64 entries).
+    pub read_queue_entries: usize,
+    /// Write-queue capacity (Table 4: 64 entries).
+    pub write_queue_entries: usize,
+    /// FR-FCFS column cap: the maximum number of younger row-hit requests served
+    /// ahead of an older row-miss request to the same bank (Table 4: 16).
+    pub column_cap: u32,
+    /// Write-queue high watermark at which the controller drains writes.
+    pub write_drain_high: usize,
+    /// Write-queue low watermark at which the controller returns to serving reads.
+    pub write_drain_low: usize,
+    /// Whether periodic refresh is issued (disabled only by characterization-style
+    /// configurations).
+    pub refresh_enabled: bool,
+}
+
+impl MemoryConfig {
+    /// The paper's Table 4 configuration: DDR4-3200, 1 channel, 2 ranks, 4 bank
+    /// groups of 4 banks, 128K rows/bank, 64-entry queues, FR-FCFS with a column cap
+    /// of 16, MOP mapping.
+    pub fn table4() -> Self {
+        Self {
+            geometry: DramGeometry::table4_system(),
+            timing: TimingParams::ddr4_3200(),
+            mapper: AddressMapper::Mop,
+            read_queue_entries: 64,
+            write_queue_entries: 64,
+            column_cap: 16,
+            write_drain_high: 48,
+            write_drain_low: 16,
+            refresh_enabled: true,
+        }
+    }
+
+    /// A scaled-down configuration (fewer rows per bank) for fast tests. The bank
+    /// and queue structure is unchanged.
+    pub fn small(rows_per_bank: usize) -> Self {
+        let mut geometry = DramGeometry::table4_system();
+        geometry.rows_per_bank = rows_per_bank;
+        Self {
+            geometry,
+            ..Self::table4()
+        }
+    }
+
+    /// Total number of banks visible to the controller.
+    pub fn total_banks(&self) -> usize {
+        self.geometry.total_banks()
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        Self::table4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_matches_paper() {
+        let c = MemoryConfig::table4();
+        assert_eq!(c.geometry.ranks_per_channel, 2);
+        assert_eq!(c.geometry.bank_groups_per_rank, 4);
+        assert_eq!(c.geometry.banks_per_group, 4);
+        assert_eq!(c.geometry.rows_per_bank, 128 * 1024);
+        assert_eq!(c.read_queue_entries, 64);
+        assert_eq!(c.column_cap, 16);
+        assert_eq!(c.total_banks(), 32);
+    }
+
+    #[test]
+    fn small_config_keeps_structure() {
+        let c = MemoryConfig::small(1024);
+        assert_eq!(c.geometry.rows_per_bank, 1024);
+        assert_eq!(c.total_banks(), 32);
+    }
+}

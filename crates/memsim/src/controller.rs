@@ -1,0 +1,646 @@
+//! The memory controller: request queues, FR-FCFS scheduling, refresh, and
+//! preventive-action execution.
+
+use std::collections::HashMap;
+
+use svard_dram::address::BankId;
+
+use crate::actions::{MitigationHook, NoMitigation, PreventiveAction};
+use crate::bank::{BankTiming, RankTiming};
+use crate::config::MemoryConfig;
+use crate::request::{CompletedRequest, MemoryRequest, RequestKind};
+use crate::stats::MemStats;
+
+/// The simulated memory system: one controller driving one DDR4 channel.
+pub struct MemorySystem {
+    config: MemoryConfig,
+    banks: Vec<BankTiming>,
+    ranks: Vec<RankTiming>,
+    bus_free_at: u64,
+    read_queue: Vec<MemoryRequest>,
+    write_queue: Vec<MemoryRequest>,
+    in_flight: Vec<(MemoryRequest, u64)>,
+    throttled: HashMap<(usize, usize), u64>,
+    mitigation: Box<dyn MitigationHook>,
+    draining_writes: bool,
+    next_refresh: u64,
+    cycle: u64,
+    stats: MemStats,
+}
+
+impl std::fmt::Debug for MemorySystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemorySystem")
+            .field("cycle", &self.cycle)
+            .field("read_queue", &self.read_queue.len())
+            .field("write_queue", &self.write_queue.len())
+            .field("in_flight", &self.in_flight.len())
+            .field("mitigation", &self.mitigation.name())
+            .finish()
+    }
+}
+
+impl MemorySystem {
+    /// Create a memory system with no read-disturbance defense (the paper's
+    /// baseline).
+    pub fn new(config: MemoryConfig) -> Self {
+        Self::with_mitigation(config, Box::new(NoMitigation))
+    }
+
+    /// Create a memory system protected by the given defense.
+    pub fn with_mitigation(config: MemoryConfig, mitigation: Box<dyn MitigationHook>) -> Self {
+        let banks = vec![BankTiming::default(); config.total_banks()];
+        let ranks =
+            vec![RankTiming::default(); config.geometry.channels * config.geometry.ranks_per_channel];
+        let next_refresh = config.timing.t_refi();
+        Self {
+            config,
+            banks,
+            ranks,
+            bus_free_at: 0,
+            read_queue: Vec::new(),
+            write_queue: Vec::new(),
+            in_flight: Vec::new(),
+            throttled: HashMap::new(),
+            mitigation,
+            draining_writes: false,
+            next_refresh,
+            cycle: 0,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Name of the installed defense.
+    pub fn mitigation_name(&self) -> String {
+        self.mitigation.name().to_string()
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether the read queue can accept another request.
+    pub fn can_accept_read(&self) -> bool {
+        self.read_queue.len() < self.config.read_queue_entries
+    }
+
+    /// Whether the write queue can accept another request.
+    pub fn can_accept_write(&self) -> bool {
+        self.write_queue.len() < self.config.write_queue_entries
+    }
+
+    /// Number of requests currently queued or in flight.
+    pub fn outstanding(&self) -> usize {
+        self.read_queue.len() + self.write_queue.len() + self.in_flight.len()
+    }
+
+    /// Enqueue a request; returns it back if the corresponding queue is full.
+    pub fn enqueue(&mut self, mut request: MemoryRequest) -> Result<(), MemoryRequest> {
+        let full = match request.kind {
+            RequestKind::Read => !self.can_accept_read(),
+            RequestKind::Write => !self.can_accept_write(),
+        };
+        if full {
+            return Err(request);
+        }
+        request.arrival_cycle = self.cycle;
+        request.dram_addr = self.config.mapper.map(&self.config.geometry, request.phys_addr);
+        match request.kind {
+            RequestKind::Read => self.read_queue.push(request),
+            RequestKind::Write => self.write_queue.push(request),
+        }
+        Ok(())
+    }
+
+    /// Advance the memory system by one controller cycle and return any requests
+    /// whose data transfer completed this cycle.
+    pub fn tick(&mut self) -> Vec<CompletedRequest> {
+        self.cycle += 1;
+        self.stats.cycles += 1;
+
+        self.maybe_refresh();
+        self.update_drain_mode();
+        self.schedule_one();
+
+        // Collect completions.
+        let cycle = self.cycle;
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].1 <= cycle {
+                let (req, completion) = self.in_flight.swap_remove(i);
+                match req.kind {
+                    RequestKind::Read => {
+                        self.stats.reads_completed += 1;
+                        self.stats.total_read_latency += completion - req.arrival_cycle;
+                    }
+                    RequestKind::Write => self.stats.writes_completed += 1,
+                }
+                done.push(CompletedRequest {
+                    id: req.id,
+                    core: req.core,
+                    kind: req.kind,
+                    completion_cycle: completion,
+                    arrival_cycle: req.arrival_cycle,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        done
+    }
+
+    /// Run until all queued requests have completed or `max_cycles` elapse; returns
+    /// all completions. Convenience for tests and simple experiments.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> Vec<CompletedRequest> {
+        let mut out = Vec::new();
+        for _ in 0..max_cycles {
+            out.extend(self.tick());
+            if self.outstanding() == 0 {
+                break;
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+
+    fn maybe_refresh(&mut self) {
+        if !self.config.refresh_enabled || self.cycle < self.next_refresh {
+            return;
+        }
+        let timing = self.config.timing.clone();
+        for rank in &mut self.ranks {
+            rank.begin_refresh(self.cycle, &timing);
+        }
+        self.stats.refreshes += self.ranks.len() as u64;
+        self.mitigation.on_refresh_tick(self.cycle);
+        self.next_refresh += timing.t_refi();
+    }
+
+    fn update_drain_mode(&mut self) {
+        if self.write_queue.len() >= self.config.write_drain_high {
+            self.draining_writes = true;
+        } else if self.write_queue.len() <= self.config.write_drain_low {
+            self.draining_writes = false;
+        }
+    }
+
+    fn flat_bank(&self, req: &MemoryRequest) -> usize {
+        self.config.geometry.flatten_bank(&req.dram_addr)
+    }
+
+    fn rank_index(&self, req: &MemoryRequest) -> usize {
+        req.dram_addr.channel * self.config.geometry.ranks_per_channel + req.dram_addr.rank
+    }
+
+    /// FR-FCFS: pick the request to issue this cycle, preferring row hits (unless
+    /// the column cap is exceeded), then the oldest request, among requests whose
+    /// bank and rank are ready and whose row is not throttled.
+    fn schedule_one(&mut self) {
+        let from_writes = if self.draining_writes || self.read_queue.is_empty() {
+            !self.write_queue.is_empty()
+        } else {
+            false
+        };
+        let queue_len = if from_writes {
+            self.write_queue.len()
+        } else {
+            self.read_queue.len()
+        };
+        if queue_len == 0 {
+            return;
+        }
+
+        let mut best_hit: Option<usize> = None;
+        let mut best_any: Option<usize> = None;
+        for idx in 0..queue_len {
+            let req = if from_writes {
+                &self.write_queue[idx]
+            } else {
+                &self.read_queue[idx]
+            };
+            let bank_idx = self.flat_bank(req);
+            let rank_idx = self.rank_index(req);
+            let bank = &self.banks[bank_idx];
+            let rank = &self.ranks[rank_idx];
+
+            if let Some(&until) = self.throttled.get(&(bank_idx, req.dram_addr.row)) {
+                if until > self.cycle {
+                    self.stats.throttle_stalls += 1;
+                    continue;
+                }
+            }
+            if bank.ready_cycle > self.cycle || rank.refresh_busy_until > self.cycle {
+                continue;
+            }
+            let is_hit = bank.is_open(req.dram_addr.row);
+            if !is_hit && rank.next_act_allowed(&self.config.timing) > self.cycle {
+                continue;
+            }
+            if is_hit && bank.consecutive_hits < self.config.column_cap {
+                if best_hit.map_or(true, |b| {
+                    let cur = if from_writes {
+                        &self.write_queue[b]
+                    } else {
+                        &self.read_queue[b]
+                    };
+                    req.arrival_cycle < cur.arrival_cycle
+                }) {
+                    best_hit = Some(idx);
+                }
+            }
+            if best_any.map_or(true, |b| {
+                let cur = if from_writes {
+                    &self.write_queue[b]
+                } else {
+                    &self.read_queue[b]
+                };
+                req.arrival_cycle < cur.arrival_cycle
+            }) {
+                best_any = Some(idx);
+            }
+        }
+
+        let Some(chosen) = best_hit.or(best_any) else {
+            return;
+        };
+        let req = if from_writes {
+            self.write_queue.remove(chosen)
+        } else {
+            self.read_queue.remove(chosen)
+        };
+        self.issue(req);
+    }
+
+    fn issue(&mut self, req: MemoryRequest) {
+        let timing = self.config.timing.clone();
+        let bank_idx = self.flat_bank(&req);
+        let rank_idx = self.rank_index(&req);
+        let row = req.dram_addr.row;
+        let cycle = self.cycle;
+
+        let is_hit = self.banks[bank_idx].is_open(row);
+        let needs_conflict_pre = !is_hit && self.banks[bank_idx].open_row.is_some();
+
+        // Time at which the column command can issue.
+        let mut col_issue = cycle;
+        if !is_hit {
+            let mut act_cycle = cycle;
+            if needs_conflict_pre {
+                // Respect tRAS before precharging, then pay tRP.
+                let pre_cycle = cycle.max(self.banks[bank_idx].last_act_cycle + timing.t_ras());
+                act_cycle = pre_cycle + timing.t_rp();
+                self.stats.row_conflicts += 1;
+            } else {
+                self.stats.row_misses += 1;
+            }
+            act_cycle = act_cycle.max(self.ranks[rank_idx].next_act_allowed(&timing));
+            self.ranks[rank_idx].record_act(act_cycle);
+            self.banks[bank_idx].open_row = Some(row);
+            self.banks[bank_idx].last_act_cycle = act_cycle;
+            self.banks[bank_idx].consecutive_hits = 0;
+            self.banks[bank_idx].activations += 1;
+            self.stats.activations += 1;
+            col_issue = act_cycle + timing.t_rcd();
+
+            // Notify the defense and execute whatever it asks for.
+            let bank_id = req.dram_addr.bank_id();
+            let actions = self.mitigation.on_activation(bank_id, row, act_cycle);
+            self.execute_actions(bank_idx, rank_idx, bank_id, act_cycle, actions);
+        } else {
+            self.stats.row_hits += 1;
+            self.banks[bank_idx].consecutive_hits += 1;
+        }
+
+        let col_latency = match req.kind {
+            RequestKind::Read => timing.t_cl(),
+            RequestKind::Write => timing.t_cwl(),
+        };
+        let data_start = (col_issue + col_latency).max(self.bus_free_at);
+        let completion = data_start + timing.burst_cycles;
+        self.bus_free_at = completion;
+        // The bank can take its next column command a tCCD later, and cannot be
+        // precharged before tRAS/tWR expire; occupy it conservatively to the column
+        // issue plus tCCD.
+        let bank_next = (col_issue + timing.t_ccd_l()).max(cycle + 1);
+        self.banks[bank_idx].occupy_until(bank_next);
+        self.in_flight.push((req, completion));
+    }
+
+    fn execute_actions(
+        &mut self,
+        origin_bank_idx: usize,
+        origin_rank_idx: usize,
+        origin_bank: BankId,
+        act_cycle: u64,
+        actions: Vec<PreventiveAction>,
+    ) {
+        let timing = self.config.timing.clone();
+        let migration_cost = 2 * (timing.t_rcd()
+            + self.config.geometry.columns_per_row as u64 * timing.t_ccd_l()
+            + timing.t_rp());
+        for action in actions {
+            match action {
+                PreventiveAction::RefreshRow { bank, .. } => {
+                    let idx = self.bank_index_of(bank).unwrap_or(origin_bank_idx);
+                    let start = self.banks[idx].ready_cycle.max(act_cycle);
+                    self.banks[idx].occupy_until(start + timing.t_rc());
+                    self.ranks[origin_rank_idx].record_act(start);
+                    self.stats.preventive_refreshes += 1;
+                }
+                PreventiveAction::ThrottleRow { bank, row, until_cycle } => {
+                    let idx = self.bank_index_of(bank).unwrap_or(origin_bank_idx);
+                    self.throttled.insert((idx, row), until_cycle);
+                }
+                PreventiveAction::MigrateRow { bank, .. } => {
+                    let idx = self.bank_index_of(bank).unwrap_or(origin_bank_idx);
+                    let start = self.banks[idx].ready_cycle.max(act_cycle);
+                    self.banks[idx].occupy_until(start + migration_cost);
+                    self.banks[idx].open_row = None;
+                    self.stats.row_migrations += 1;
+                }
+                PreventiveAction::SwapRows { bank, .. } => {
+                    let idx = self.bank_index_of(bank).unwrap_or(origin_bank_idx);
+                    let start = self.banks[idx].ready_cycle.max(act_cycle);
+                    self.banks[idx].occupy_until(start + 2 * migration_cost);
+                    self.banks[idx].open_row = None;
+                    self.stats.row_swaps += 1;
+                }
+                PreventiveAction::ExtraTraffic { bank, accesses } => {
+                    let idx = self.bank_index_of(bank).unwrap_or(origin_bank_idx);
+                    let start = self.banks[idx].ready_cycle.max(act_cycle);
+                    let cost = timing.t_rc() + accesses as u64 * timing.t_ccd_l();
+                    self.banks[idx].occupy_until(start + cost);
+                    self.stats.extra_accesses += accesses as u64;
+                }
+            }
+        }
+        let _ = origin_bank;
+        // Garbage-collect expired throttles occasionally to bound the map.
+        if self.throttled.len() > 4096 {
+            let cycle = self.cycle;
+            self.throttled.retain(|_, &mut until| until > cycle);
+        }
+    }
+
+    fn bank_index_of(&self, bank: BankId) -> Option<usize> {
+        let g = &self.config.geometry;
+        if bank.channel >= g.channels
+            || bank.rank >= g.ranks_per_channel
+            || bank.bank_group >= g.bank_groups_per_rank
+            || bank.bank >= g.banks_per_group
+        {
+            return None;
+        }
+        Some(
+            ((bank.channel * g.ranks_per_channel + bank.rank) * g.bank_groups_per_rank
+                + bank.bank_group)
+                * g.banks_per_group
+                + bank.bank,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn read_at(id: u64, addr: u64) -> MemoryRequest {
+        MemoryRequest::read(id, addr, 0)
+    }
+
+    #[test]
+    fn single_read_completes_with_miss_latency() {
+        let mut mem = MemorySystem::new(MemoryConfig::small(1024));
+        mem.enqueue(read_at(1, 0x1000)).unwrap();
+        let done = mem.run_until_idle(10_000);
+        assert_eq!(done.len(), 1);
+        let t = &mem.config().timing.clone();
+        let expected_min = t.t_rcd() + t.t_cl() + t.burst_cycles;
+        assert!(done[0].latency() >= expected_min);
+        assert!(done[0].latency() < expected_min + 20);
+        assert_eq!(mem.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn row_hits_are_faster_than_misses() {
+        let mut mem = MemorySystem::new(MemoryConfig::small(1024));
+        // Two consecutive cache lines map to the same row under MOP.
+        mem.enqueue(read_at(1, 0x0)).unwrap();
+        mem.enqueue(read_at(2, 0x40)).unwrap();
+        let done = mem.run_until_idle(10_000);
+        assert_eq!(done.len(), 2);
+        assert_eq!(mem.stats().row_hits, 1);
+        assert_eq!(mem.stats().row_misses, 1);
+        let miss = done.iter().find(|c| c.id == 1).unwrap();
+        let hit = done.iter().find(|c| c.id == 2).unwrap();
+        assert!(hit.completion_cycle > miss.completion_cycle);
+        // The row hit is served shortly after the miss, without paying another
+        // activation (tRCD) or precharge (tRP).
+        let t = mem.config().timing.clone();
+        assert!(hit.completion_cycle - miss.completion_cycle < t.t_rcd() + t.t_rp());
+    }
+
+    #[test]
+    fn conflicting_rows_pay_precharge() {
+        let g = MemoryConfig::small(1024).geometry;
+        // Find two addresses in the same bank but different rows.
+        let mapper = svard_dram::mapping::AddressMapper::Mop;
+        let a0 = 0u64;
+        let base = mapper.map(&g, a0);
+        let mut conflict_addr = None;
+        for candidate in (64..(1 << 26)).step_by(64) {
+            let m = mapper.map(&g, candidate);
+            if m.same_bank(&base) && m.row != base.row {
+                conflict_addr = Some(candidate);
+                break;
+            }
+        }
+        let conflict_addr = conflict_addr.expect("found a conflicting address");
+        let mut mem = MemorySystem::new(MemoryConfig::small(1024));
+        mem.enqueue(read_at(1, a0)).unwrap();
+        let first = mem.run_until_idle(10_000);
+        mem.enqueue(read_at(2, conflict_addr)).unwrap();
+        let second = mem.run_until_idle(10_000);
+        assert_eq!(first.len() + second.len(), 2);
+        assert_eq!(mem.stats().row_conflicts, 1);
+        assert!(second[0].latency() > first[0].latency());
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let mut mem = MemorySystem::new(MemoryConfig::small(256));
+        let mut accepted = 0;
+        for i in 0..200 {
+            if mem.enqueue(read_at(i, i * 64)).is_ok() {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, mem.config().read_queue_entries);
+    }
+
+    #[test]
+    fn refresh_happens_periodically() {
+        let mut mem = MemorySystem::new(MemoryConfig::small(256));
+        let refi = mem.config().timing.t_refi();
+        for _ in 0..(refi * 3 + 10) {
+            mem.tick();
+        }
+        // Two ranks refresh at each tREFI boundary.
+        assert_eq!(mem.stats().refreshes, 3 * 2);
+    }
+
+    #[test]
+    fn all_enqueued_requests_eventually_complete() {
+        let mut mem = MemorySystem::new(MemoryConfig::small(4096));
+        let mut completed = 0u64;
+        let mut issued = 0u64;
+        let mut next_id = 0u64;
+        let mut addr = 0u64;
+        for cycle in 0..200_000u64 {
+            if cycle % 7 == 0 && issued < 500 {
+                let req = if next_id % 4 == 0 {
+                    MemoryRequest::write(next_id, addr, 0)
+                } else {
+                    MemoryRequest::read(next_id, addr, 0)
+                };
+                if mem.enqueue(req).is_ok() {
+                    issued += 1;
+                    next_id += 1;
+                    addr = addr.wrapping_add(0x1_0040);
+                }
+            }
+            completed += mem.tick().len() as u64;
+            if completed == 500 {
+                break;
+            }
+        }
+        assert_eq!(completed, 500);
+        assert_eq!(mem.stats().requests_completed(), 500);
+    }
+
+    /// A mitigation that refreshes a victim on every activation, to verify the
+    /// controller pays for preventive actions.
+    struct AlwaysRefresh {
+        count: Rc<RefCell<u64>>,
+    }
+    impl MitigationHook for AlwaysRefresh {
+        fn on_activation(&mut self, bank: BankId, row: usize, _cycle: u64) -> Vec<PreventiveAction> {
+            *self.count.borrow_mut() += 1;
+            vec![
+                PreventiveAction::RefreshRow { bank, row: row.saturating_sub(1) },
+                PreventiveAction::RefreshRow { bank, row: row + 1 },
+            ]
+        }
+        fn name(&self) -> &str {
+            "always-refresh"
+        }
+    }
+
+    #[test]
+    fn preventive_refreshes_slow_the_system_down() {
+        let run = |mitigated: bool| -> (u64, u64) {
+            let count = Rc::new(RefCell::new(0));
+            let mut mem = if mitigated {
+                MemorySystem::with_mitigation(
+                    MemoryConfig::small(4096),
+                    Box::new(AlwaysRefresh { count: count.clone() }),
+                )
+            } else {
+                MemorySystem::new(MemoryConfig::small(4096))
+            };
+            // Row-conflict-heavy stream to force many activations in one bank.
+            let mapper = svard_dram::mapping::AddressMapper::Mop;
+            let g = mem.config().geometry.clone();
+            let base = mapper.map(&g, 0);
+            let addrs: Vec<u64> = (0..(1u64 << 27))
+                .step_by(64)
+                .filter(|&a| {
+                    let m = mapper.map(&g, a);
+                    m.same_bank(&base)
+                })
+                .take(64)
+                .collect();
+            let mut issued = 0;
+            let mut completed = 0;
+            let mut cycles = 0;
+            while completed < addrs.len() && cycles < 1_000_000 {
+                if issued < addrs.len() {
+                    if mem
+                        .enqueue(MemoryRequest::read(issued as u64, addrs[issued], 0))
+                        .is_ok()
+                    {
+                        issued += 1;
+                    }
+                }
+                completed += mem.tick().len();
+                cycles += 1;
+            }
+            (cycles, mem.stats().preventive_refreshes)
+        };
+        let (baseline_cycles, baseline_refreshes) = run(false);
+        let (mitigated_cycles, mitigated_refreshes) = run(true);
+        assert_eq!(baseline_refreshes, 0);
+        assert!(mitigated_refreshes > 0);
+        assert!(
+            mitigated_cycles > baseline_cycles,
+            "mitigated {mitigated_cycles} vs baseline {baseline_cycles}"
+        );
+    }
+
+    /// A mitigation that throttles a hot row.
+    struct ThrottleEverything;
+    impl MitigationHook for ThrottleEverything {
+        fn on_activation(&mut self, bank: BankId, row: usize, cycle: u64) -> Vec<PreventiveAction> {
+            vec![PreventiveAction::ThrottleRow { bank, row, until_cycle: cycle + 5000 }]
+        }
+        fn name(&self) -> &str {
+            "throttle-everything"
+        }
+    }
+
+    #[test]
+    fn throttling_delays_repeated_activations_of_a_row() {
+        let config = MemoryConfig::small(1024);
+        let mapper = svard_dram::mapping::AddressMapper::Mop;
+        let g = config.geometry.clone();
+        let base = mapper.map(&g, 0);
+        // Two different rows in the same bank: activating A throttles A, then a
+        // conflicting access to A again must wait out the throttle window.
+        let conflicting: Vec<u64> = (0..(1u64 << 27))
+            .step_by(64)
+            .filter(|&a| {
+                let m = mapper.map(&g, a);
+                m.same_bank(&base) && m.row != base.row
+            })
+            .take(1)
+            .collect();
+        let mut mem = MemorySystem::with_mitigation(config, Box::new(ThrottleEverything));
+        mem.enqueue(MemoryRequest::read(0, 0, 0)).unwrap();
+        let first = mem.run_until_idle(100_000);
+        // Re-access row 0 (throttled) while also queueing the other row.
+        mem.enqueue(MemoryRequest::read(1, conflicting[0], 0)).unwrap();
+        mem.enqueue(MemoryRequest::read(2, 0, 0)).unwrap();
+        let rest = mem.run_until_idle(100_000);
+        assert_eq!(first.len() + rest.len(), 3);
+        assert!(mem.stats().throttle_stalls > 0);
+        // The throttled re-access to row 0 finishes well after the un-throttled one.
+        let other = rest.iter().find(|c| c.id == 1).unwrap();
+        let throttled = rest.iter().find(|c| c.id == 2).unwrap();
+        assert!(throttled.completion_cycle > other.completion_cycle);
+    }
+}

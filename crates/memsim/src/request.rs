@@ -1,0 +1,90 @@
+//! Memory requests as seen by the memory controller.
+
+pub use svard_dram::command::RequestKind;
+use svard_dram::DramAddress;
+
+/// A demand memory request (LLC miss or writeback) sent to the memory controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryRequest {
+    /// Unique, caller-assigned identifier (returned on completion).
+    pub id: u64,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Physical byte address.
+    pub phys_addr: u64,
+    /// Core that issued the request (for per-core statistics and fairness metrics).
+    pub core: usize,
+    /// Cycle at which the request entered the controller (set by the controller).
+    pub arrival_cycle: u64,
+    /// DRAM coordinates (set by the controller using its address mapper).
+    pub dram_addr: DramAddress,
+}
+
+impl MemoryRequest {
+    /// Create a request; the controller fills in arrival cycle and DRAM coordinates.
+    pub fn new(id: u64, kind: RequestKind, phys_addr: u64, core: usize) -> Self {
+        Self {
+            id,
+            kind,
+            phys_addr,
+            core,
+            arrival_cycle: 0,
+            dram_addr: DramAddress::default(),
+        }
+    }
+
+    /// Convenience constructor for a read.
+    pub fn read(id: u64, phys_addr: u64, core: usize) -> Self {
+        Self::new(id, RequestKind::Read, phys_addr, core)
+    }
+
+    /// Convenience constructor for a write(back).
+    pub fn write(id: u64, phys_addr: u64, core: usize) -> Self {
+        Self::new(id, RequestKind::Write, phys_addr, core)
+    }
+}
+
+/// A completed request, reported back to the CPU side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedRequest {
+    /// Identifier of the original request.
+    pub id: u64,
+    /// Core that issued it.
+    pub core: usize,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Cycle at which the data transfer finished.
+    pub completion_cycle: u64,
+    /// Cycle at which the request arrived at the controller.
+    pub arrival_cycle: u64,
+}
+
+impl CompletedRequest {
+    /// Memory latency observed by this request, in controller cycles.
+    pub fn latency(&self) -> u64 {
+        self.completion_cycle - self.arrival_cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(MemoryRequest::read(1, 0x1000, 0).kind, RequestKind::Read);
+        assert_eq!(MemoryRequest::write(2, 0x2000, 1).kind, RequestKind::Write);
+    }
+
+    #[test]
+    fn latency_is_completion_minus_arrival() {
+        let c = CompletedRequest {
+            id: 1,
+            core: 0,
+            kind: RequestKind::Read,
+            completion_cycle: 150,
+            arrival_cycle: 100,
+        };
+        assert_eq!(c.latency(), 50);
+    }
+}

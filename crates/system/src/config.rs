@@ -1,0 +1,85 @@
+//! Evaluation-system configuration (Table 4, plus simulation-scale knobs).
+
+use svard_cpusim::CoreConfig;
+use svard_memsim::MemoryConfig;
+
+/// Configuration of one full-system simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of cores (Table 4: 8).
+    pub cores: usize,
+    /// Instructions each core executes before it is considered finished.
+    pub instructions_per_core: u64,
+    /// Hard cap on simulated cycles (safety net for pathological configurations).
+    pub max_cycles: u64,
+    /// Core parameters.
+    pub core: CoreConfig,
+    /// Memory-system parameters.
+    pub memory: MemoryConfig,
+    /// Seed for workload trace generation.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's Table 4 system with a scaled-down instruction budget
+    /// (100K instructions per core) suitable for experiment binaries.
+    pub fn table4_scaled() -> Self {
+        Self {
+            cores: 8,
+            instructions_per_core: 100_000,
+            max_cycles: 30_000_000,
+            core: CoreConfig::table4(),
+            memory: MemoryConfig::table4(),
+            seed: 7,
+        }
+    }
+
+    /// A tiny configuration for unit tests: 2 cores, 5K instructions.
+    pub fn tiny() -> Self {
+        Self {
+            cores: 2,
+            instructions_per_core: 5_000,
+            max_cycles: 3_000_000,
+            ..Self::table4_scaled()
+        }
+    }
+
+    /// Override the per-core instruction budget.
+    pub fn with_instructions(mut self, instructions: u64) -> Self {
+        self.instructions_per_core = instructions;
+        self
+    }
+
+    /// Override the core count.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::table4_scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_scaled_matches_paper_structure() {
+        let c = SystemConfig::table4_scaled();
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.core.width, 4);
+        assert_eq!(c.core.window, 128);
+        assert_eq!(c.memory.geometry.rows_per_bank, 128 * 1024);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = SystemConfig::tiny().with_cores(4).with_instructions(123);
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.instructions_per_core, 123);
+    }
+}

@@ -1,0 +1,17 @@
+//! Full-system evaluation harness: cores + LLCs + memory controller + defense +
+//! Svärd, wired together as in §7.1 / Table 4.
+//!
+//! The harness runs multiprogrammed workload mixes on the simulated memory system
+//! under a chosen read-disturbance defense and threshold provider, and reports the
+//! three system-level metrics of Fig. 12 (weighted speedup, harmonic speedup,
+//! maximum slowdown), normalized to the no-defense baseline.
+//!
+//! Simulation lengths are configurable and default to a scaled-down instruction
+//! budget so that the full Fig. 12 sweep finishes in minutes rather than the
+//! CPU-years a 200M-instruction × 120-mix campaign would need (see `DESIGN.md`).
+
+pub mod config;
+pub mod runner;
+
+pub use config::SystemConfig;
+pub use runner::{EvaluationHarness, EvaluationPoint, RunResult};

@@ -1,0 +1,240 @@
+//! Running multiprogrammed mixes and collecting Fig. 12-style data points.
+
+use svard_cpusim::metrics::SystemMetrics;
+use svard_cpusim::workload::{WorkloadMix, WorkloadSpec};
+use svard_cpusim::SimpleCore;
+use svard_defenses::provider::SharedThresholdProvider;
+use svard_defenses::DefenseKind;
+use svard_memsim::{MemStats, MemorySystem, MitigationHook, NoMitigation};
+
+use crate::config::SystemConfig;
+
+/// Result of simulating one mix on one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Per-core IPC.
+    pub per_core_ipc: Vec<f64>,
+    /// Memory-system statistics.
+    pub mem_stats: MemStats,
+    /// Cycles simulated until every core finished (or the cycle cap).
+    pub cycles: u64,
+}
+
+impl RunResult {
+    /// Whether every core reached its instruction budget.
+    pub fn all_finished(&self) -> bool {
+        self.per_core_ipc.iter().all(|&ipc| ipc > 0.0)
+    }
+}
+
+/// One data point of Fig. 12 / Fig. 13: a defense under a threshold provider at a
+/// given scaled worst-case `HC_first`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationPoint {
+    /// Which defense was evaluated.
+    pub defense: DefenseKind,
+    /// The threshold provider's name ("No Svärd", "Svärd-S0", ...).
+    pub provider: String,
+    /// The scaled worst-case `HC_first`.
+    pub hc_first: u64,
+    /// Metrics normalized to the no-defense baseline, averaged over mixes.
+    pub normalized: SystemMetrics,
+}
+
+/// Simulate one workload mix on one memory-system configuration.
+pub fn run_mix(
+    mix: &WorkloadMix,
+    config: &SystemConfig,
+    mitigation: Box<dyn MitigationHook>,
+) -> RunResult {
+    let mut memory = MemorySystem::with_mitigation(config.memory.clone(), mitigation);
+    let mut cores: Vec<SimpleCore> = mix
+        .workloads
+        .iter()
+        .take(config.cores)
+        .enumerate()
+        .map(|(id, spec)| {
+            SimpleCore::new(id, spec, config.core, config.instructions_per_core, config.seed)
+        })
+        .collect();
+    let mut cycles = 0u64;
+    while cycles < config.max_cycles && cores.iter().any(|c| !c.finished()) {
+        for core in &mut cores {
+            core.tick(&mut memory);
+        }
+        for done in memory.tick() {
+            if let Some(core) = cores.get_mut(done.core) {
+                core.on_completion(done.id);
+            }
+        }
+        cycles += 1;
+    }
+    RunResult {
+        per_core_ipc: cores.iter().map(|c| c.ipc()).collect(),
+        mem_stats: memory.stats().clone(),
+        cycles,
+    }
+}
+
+/// Simulate one workload running alone on one core of the baseline system (the
+/// `IPC_alone` reference for the multiprogrammed metrics).
+pub fn run_alone(spec: &WorkloadSpec, config: &SystemConfig) -> f64 {
+    let mix = WorkloadMix {
+        id: 0,
+        workloads: vec![spec.clone()],
+    };
+    let single = SystemConfig {
+        cores: 1,
+        ..config.clone()
+    };
+    run_mix(&mix, &single, Box::new(NoMitigation)).per_core_ipc[0]
+}
+
+/// Evaluation harness that caches the per-mix alone-IPC vectors and baseline
+/// metrics, so that each defense configuration only costs one extra simulation per
+/// mix.
+pub struct EvaluationHarness {
+    config: SystemConfig,
+    mixes: Vec<WorkloadMix>,
+    alone_ipc: Vec<Vec<f64>>,
+    baseline: Vec<SystemMetrics>,
+}
+
+impl EvaluationHarness {
+    /// Prepare the harness: runs each workload alone and each mix on the
+    /// no-defense baseline.
+    pub fn new(config: SystemConfig, mixes: Vec<WorkloadMix>) -> Self {
+        let alone_ipc: Vec<Vec<f64>> = mixes
+            .iter()
+            .map(|mix| {
+                mix.workloads
+                    .iter()
+                    .take(config.cores)
+                    .map(|spec| run_alone(spec, &config))
+                    .collect()
+            })
+            .collect();
+        let baseline: Vec<SystemMetrics> = mixes
+            .iter()
+            .zip(&alone_ipc)
+            .map(|(mix, alone)| {
+                let run = run_mix(mix, &config, Box::new(NoMitigation));
+                SystemMetrics::compute(alone, &run.per_core_ipc)
+            })
+            .collect();
+        Self {
+            config,
+            mixes,
+            alone_ipc,
+            baseline,
+        }
+    }
+
+    /// The mixes under evaluation.
+    pub fn mixes(&self) -> &[WorkloadMix] {
+        &self.mixes
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Evaluate one defense under one threshold provider, returning metrics
+    /// normalized to the no-defense baseline and averaged across mixes.
+    pub fn evaluate(
+        &self,
+        defense: DefenseKind,
+        provider: SharedThresholdProvider,
+        hc_first: u64,
+    ) -> EvaluationPoint {
+        let provider_name = provider.name().to_string();
+        let rows_per_bank = self.config.memory.geometry.rows_per_bank;
+        let mut sums = SystemMetrics {
+            weighted_speedup: 0.0,
+            harmonic_speedup: 0.0,
+            max_slowdown: 0.0,
+        };
+        for ((mix, alone), baseline) in self
+            .mixes
+            .iter()
+            .zip(&self.alone_ipc)
+            .zip(&self.baseline)
+        {
+            let mitigation =
+                defense.build(provider.clone(), rows_per_bank, self.config.seed ^ hc_first);
+            let run = run_mix(mix, &self.config, mitigation);
+            let metrics = SystemMetrics::compute(alone, &run.per_core_ipc);
+            let normalized = metrics.normalized_to(baseline);
+            sums.weighted_speedup += normalized.weighted_speedup;
+            sums.harmonic_speedup += normalized.harmonic_speedup;
+            sums.max_slowdown += normalized.max_slowdown;
+        }
+        let n = self.mixes.len() as f64;
+        EvaluationPoint {
+            defense,
+            provider: provider_name,
+            hc_first,
+            normalized: SystemMetrics {
+                weighted_speedup: sums.weighted_speedup / n,
+                harmonic_speedup: sums.harmonic_speedup / n,
+                max_slowdown: sums.max_slowdown / n,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use svard_defenses::provider::UniformThreshold;
+
+    fn tiny_mixes(n: usize) -> Vec<WorkloadMix> {
+        WorkloadMix::generate(n, 2, 3)
+    }
+
+    #[test]
+    fn mixes_run_to_completion() {
+        let config = SystemConfig::tiny();
+        let mix = &tiny_mixes(1)[0];
+        let result = run_mix(mix, &config, Box::new(NoMitigation));
+        assert!(result.all_finished());
+        assert!(result.cycles < config.max_cycles);
+        assert!(result.mem_stats.requests_completed() > 0);
+    }
+
+    #[test]
+    fn alone_ipc_is_at_least_shared_ipc() {
+        let config = SystemConfig::tiny();
+        let mix = &tiny_mixes(1)[0];
+        let shared = run_mix(mix, &config, Box::new(NoMitigation));
+        for (core, spec) in mix.workloads.iter().take(config.cores).enumerate() {
+            let alone = run_alone(spec, &config);
+            assert!(
+                alone >= shared.per_core_ipc[core] * 0.95,
+                "core {core}: alone {alone} vs shared {}",
+                shared.per_core_ipc[core]
+            );
+        }
+    }
+
+    #[test]
+    fn aggressive_defense_at_low_threshold_costs_performance() {
+        let config = SystemConfig::tiny();
+        let harness = EvaluationHarness::new(config, tiny_mixes(2));
+        let strict = harness.evaluate(
+            DefenseKind::Para,
+            Arc::new(UniformThreshold::new(64)),
+            64,
+        );
+        let relaxed = harness.evaluate(
+            DefenseKind::Para,
+            Arc::new(UniformThreshold::new(64 * 1024)),
+            64 * 1024,
+        );
+        assert!(strict.normalized.weighted_speedup <= relaxed.normalized.weighted_speedup + 0.02);
+        assert!(relaxed.normalized.weighted_speedup > 0.9);
+        assert!(strict.normalized.weighted_speedup <= 1.01);
+    }
+}

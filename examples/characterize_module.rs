@@ -1,0 +1,53 @@
+//! Full-bank characterization of one module, reproducing the §5 analysis at small
+//! scale: BER distribution and CV (Fig. 3), HC_first distribution (Fig. 5), and the
+//! RowPress effect (Fig. 7).
+//!
+//! Run with: `cargo run --release --example characterize_module -- S0`
+
+use svard_repro::analysis::{coefficient_of_variation, CategoricalHistogram};
+use svard_repro::bender::{CharacterizationConfig, TestInfrastructure};
+use svard_repro::chip::{ChipConfig, SimChip};
+use svard_repro::vulnerability::{ModuleSpec, ProfileGenerator};
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "M0".to_string());
+    let spec = ModuleSpec::by_label(&label)
+        .unwrap_or_else(|| panic!("unknown module {label}; use H0-H4, M0-M4 or S0-S4"))
+        .scaled(1024);
+    let profile = ProfileGenerator::new(42).generate(&spec, 1);
+    let mut infra = TestInfrastructure::new(SimChip::new(
+        profile,
+        ChipConfig::for_characterization(256),
+    ));
+
+    println!("== Module {} ({}) ==", spec.label, spec.manufacturer);
+    let config = CharacterizationConfig::paper().with_stride(4);
+    let bank = infra.characterize_bank(0, &config);
+
+    let bers = bank.ber_values();
+    println!(
+        "BER @128K: mean = {:.4}%, CV = {:.2}% (paper reports CV {:.2}% for {})",
+        100.0 * bers.iter().sum::<f64>() / bers.len() as f64,
+        100.0 * coefficient_of_variation(&bers),
+        100.0 * spec.ber_cv,
+        spec.label
+    );
+
+    let histogram = CategoricalHistogram::from_iter(bank.hc_first_values());
+    println!("HC_first distribution (fraction of rows):");
+    for hc in histogram.categories() {
+        println!("  {:>7}: {:.3}", hc, histogram.fraction(hc));
+    }
+
+    println!("RowPress: HC_first medians by aggressor on-time:");
+    for t_agg_on in [36.0, 500.0, 2000.0] {
+        let pressed = infra.characterize_bank(
+            0,
+            &CharacterizationConfig::quick().with_stride(16).with_t_agg_on(t_agg_on),
+        );
+        let mut values = pressed.hc_first_values();
+        values.sort_unstable();
+        let median = values.get(values.len() / 2).copied().unwrap_or(0);
+        println!("  tAggOn = {t_agg_on:>6} ns -> median HC_first = {median}");
+    }
+}

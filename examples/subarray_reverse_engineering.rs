@@ -1,0 +1,42 @@
+//! Reverse engineering a bank's subarray structure (§5.4.1): single-sided hammer
+//! reach, k-means + silhouette clustering, and RowClone invalidation.
+//!
+//! Run with: `cargo run --release --example subarray_reverse_engineering`
+
+use svard_repro::bender::{reverse_engineer_subarrays, TestInfrastructure};
+use svard_repro::chip::{ChipConfig, SimChip};
+use svard_repro::vulnerability::{ModuleSpec, ProfileGenerator};
+
+fn main() {
+    let spec = ModuleSpec::s4().scaled(768);
+    let profile = ProfileGenerator::new(9).generate(&spec, 1);
+    let truth = profile.bank(0).subarrays().clone();
+    let mut infra = TestInfrastructure::new(SimChip::new(
+        profile,
+        ChipConfig::for_characterization(128),
+    ));
+
+    println!("== Reverse engineering subarray boundaries of module {} ==", spec.label);
+    let result = reverse_engineer_subarrays(&mut infra, 0, 0, 3);
+
+    println!(
+        "boundary evidence rows (single-sided reach = 1): {} rows",
+        result.boundary_evidence.len()
+    );
+    println!("silhouette curve (k, score) — the Fig. 8 shape:");
+    for (k, score) in result.silhouette_curve.iter().take(12) {
+        println!("  k = {k:3}: {score:.3}");
+    }
+    println!("chosen k (argmax): {}", result.chosen_k);
+    println!(
+        "candidate boundaries: {}, invalidated by RowClone: {}",
+        result.candidate_starts.len(),
+        result.invalidated.len()
+    );
+    println!(
+        "inferred {} subarrays vs. ground truth {} (boundary accuracy {:.1}%)",
+        result.num_subarrays(),
+        truth.num_subarrays(),
+        100.0 * result.accuracy_against(&truth)
+    );
+}

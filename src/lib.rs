@@ -1,0 +1,47 @@
+//! Svärd reproduction — facade crate.
+//!
+//! This crate re-exports the whole workspace so that examples, integration tests and
+//! downstream users can depend on a single crate:
+//!
+//! * [`dram`] — DRAM organization, commands, timing, data patterns, address maps;
+//! * [`vulnerability`] — per-row read-disturbance profiles calibrated to the paper's
+//!   Table 5 / Figs. 3–10 results;
+//! * [`chip`] — the behavioural DRAM chip model with read-disturbance physics;
+//! * [`bender`] — the DRAM-Bender-like characterization harness (Algorithm 1,
+//!   subarray reverse engineering);
+//! * [`analysis`] — statistics (CV, box plots, k-means, silhouette, F1);
+//! * [`memsim`] — the Ramulator-like DDR4 memory-system model;
+//! * [`cpusim`] — synthetic workloads, cores, caches and multiprogrammed metrics;
+//! * [`defenses`] — PARA, BlockHammer, Hydra, AQUA and RRS;
+//! * [`core`] — Svärd itself: vulnerability bins, threshold provider, metadata
+//!   storage options, hardware-cost model;
+//! * [`system`] — the full-system evaluation harness behind Figs. 12–13.
+//!
+//! # Quick start
+//!
+//! ```
+//! use svard_repro::core::Svard;
+//! use svard_repro::vulnerability::{ModuleSpec, ProfileGenerator};
+//!
+//! // 1. Obtain a per-row read-disturbance profile (here: generated; in practice,
+//! //    measured by the `bender` characterization pipeline).
+//! let profile = ProfileGenerator::new(7).generate(&ModuleSpec::s0().scaled(1024), 1);
+//! // 2. Build Svärd for a projected worst-case HC_first of 1K and get the
+//! //    threshold provider any defense can consume.
+//! let svard = Svard::build(&profile, 1024, 16);
+//! svard.assert_security_invariant();
+//! let provider = svard.provider();
+//! assert_eq!(svard.scaled_worst_case(), 1024);
+//! drop(provider);
+//! ```
+
+pub use svard_analysis as analysis;
+pub use svard_bender as bender;
+pub use svard_chip as chip;
+pub use svard_core as core;
+pub use svard_cpusim as cpusim;
+pub use svard_defenses as defenses;
+pub use svard_dram as dram;
+pub use svard_memsim as memsim;
+pub use svard_system as system;
+pub use svard_vulnerability as vulnerability;

@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: the full pipeline from characterization through
+//! Svärd construction to defended system simulation.
+
+use std::sync::Arc;
+
+use svard_repro::bender::{CharacterizationConfig, TestInfrastructure};
+use svard_repro::chip::{ChipConfig, SimChip};
+use svard_repro::core::Svard;
+use svard_repro::cpusim::workload::WorkloadMix;
+use svard_repro::defenses::provider::UniformThreshold;
+use svard_repro::defenses::DefenseKind;
+use svard_repro::dram::address::BankId;
+use svard_repro::system::{runner::run_mix, EvaluationHarness, SystemConfig};
+use svard_repro::vulnerability::{ModuleSpec, ProfileGenerator};
+
+/// The characterization pipeline measures what the generative model planted:
+/// Algorithm 1's observed HC_first matches the ground-truth profile for every tested
+/// row, end to end through the chip model and the harness.
+#[test]
+fn characterization_recovers_ground_truth() {
+    let spec = ModuleSpec::m0().scaled(192);
+    let profile = ProfileGenerator::new(3).generate(&spec, 1);
+    let mut infra = TestInfrastructure::new(SimChip::new(
+        profile.clone(),
+        ChipConfig::for_characterization(128),
+    ));
+    let config = CharacterizationConfig::paper().with_stride(8);
+    let bank = infra.characterize_bank(0, &config);
+    let subarrays = profile.bank(0).subarrays();
+    for result in &bank.rows {
+        // Rows at a subarray (or bank) boundary have only one physical aggressor, so
+        // double-sided hammering delivers half the dose and the observed HC_first is
+        // correspondingly higher; the ground-truth equality only holds for interior
+        // rows, which is also all the paper's double-sided methodology relies on.
+        if subarrays.is_boundary_row(result.row) {
+            assert!(result.hc_first >= profile.hc_first(0, result.row, 36.0));
+            continue;
+        }
+        assert_eq!(
+            result.hc_first,
+            profile.hc_first(0, result.row, 36.0),
+            "row {}",
+            result.row
+        );
+    }
+}
+
+/// Svärd built from a characterized profile keeps its §6.3 security promise and
+/// credits most rows with more headroom than the worst case.
+#[test]
+fn svard_is_secure_and_useful_on_characterized_profiles() {
+    for label in ["S0", "M0", "H1"] {
+        let profile =
+            ProfileGenerator::new(5).generate(&ModuleSpec::by_label(label).unwrap().scaled(512), 1);
+        for target in [2048u64, 256, 64] {
+            let svard = Svard::build(&profile, target, 16);
+            svard.assert_security_invariant();
+            let provider = svard.provider();
+            let bank = BankId::default();
+            let improved = (0..512)
+                .filter(|&row| provider.victim_threshold(bank, row) > target)
+                .count();
+            assert!(improved > 100, "{label}@{target}: only {improved} rows improved");
+        }
+    }
+}
+
+/// A defended memory system completes real multiprogrammed work, and Svärd never
+/// performs worse than the same defense configured for the worst case.
+#[test]
+fn defended_system_runs_and_svard_reduces_overhead() {
+    let mut config = SystemConfig::tiny();
+    config.memory.geometry.rows_per_bank = 512;
+    let mixes = WorkloadMix::generate(1, config.cores, 21);
+    let harness = EvaluationHarness::new(config.clone(), mixes);
+
+    let profile = ProfileGenerator::new(9).generate(&ModuleSpec::s0().scaled(512), 1);
+    let svard = Svard::build(&profile, 64, 16);
+
+    for defense in [DefenseKind::Para, DefenseKind::Rrs, DefenseKind::BlockHammer] {
+        let without = harness.evaluate(defense, svard.baseline_provider(), 64);
+        let with = harness.evaluate(defense, svard.provider(), 64);
+        assert!(
+            with.normalized.weighted_speedup >= without.normalized.weighted_speedup - 0.05,
+            "{defense}: Svärd {:.3} vs No Svärd {:.3}",
+            with.normalized.weighted_speedup,
+            without.normalized.weighted_speedup
+        );
+        assert!(without.normalized.weighted_speedup > 0.0);
+    }
+}
+
+/// The no-defense baseline and a very relaxed defense behave nearly identically,
+/// while an aggressive defense at a tiny threshold visibly costs performance.
+#[test]
+fn defense_overhead_grows_as_thresholds_shrink() {
+    let mut config = SystemConfig::tiny();
+    config.memory.geometry.rows_per_bank = 512;
+    let mix = &WorkloadMix::generate(1, config.cores, 33)[0];
+
+    let baseline = run_mix(mix, &config, Box::new(svard_repro::memsim::NoMitigation));
+    let relaxed = run_mix(
+        mix,
+        &config,
+        DefenseKind::Para.build(Arc::new(UniformThreshold::new(64 * 1024)), 512, 1),
+    );
+    let strict = run_mix(
+        mix,
+        &config,
+        DefenseKind::Para.build(Arc::new(UniformThreshold::new(16)), 512, 1),
+    );
+    let ipc = |r: &svard_repro::system::RunResult| -> f64 {
+        r.per_core_ipc.iter().sum::<f64>() / r.per_core_ipc.len() as f64
+    };
+    assert!(ipc(&relaxed) > ipc(&baseline) * 0.9);
+    assert!(ipc(&strict) < ipc(&relaxed));
+    assert!(strict.mem_stats.preventive_refreshes > relaxed.mem_stats.preventive_refreshes);
+}
+
+/// The uniform provider and Svärd's provider agree on the worst case, so security
+/// configuration is identical — only over-protection differs.
+#[test]
+fn svard_and_baseline_agree_on_worst_case() {
+    let profile = ProfileGenerator::new(13).generate(&ModuleSpec::h1().scaled(256), 1);
+    for target in [4096u64, 512, 64] {
+        let svard = Svard::build(&profile, target, 16);
+        assert_eq!(svard.provider().worst_case(), target);
+        assert_eq!(svard.baseline_provider().worst_case(), target);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the core invariants, using proptest.
+
+use proptest::prelude::*;
+
+use svard_repro::analysis::descriptive::{coefficient_of_variation, BoxSummary};
+use svard_repro::core::{Svard, VulnerabilityBins};
+use svard_repro::dram::address::BankId;
+use svard_repro::dram::mapping::{AddressMapper, RowScramble};
+use svard_repro::dram::DramGeometry;
+use svard_repro::vulnerability::{snap_to_grid, ModuleSpec, ProfileGenerator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Row scrambling schemes are bijections: no two logical rows collide and the
+    /// inverse recovers the original row.
+    #[test]
+    fn row_scrambles_are_bijective(rows_pow in 4u32..12, mask in 0usize..4096) {
+        let rows = 1usize << rows_pow;
+        for scramble in [
+            RowScramble::Identity,
+            RowScramble::LowBitSwizzle,
+            RowScramble::MirroredPairs,
+            RowScramble::XorMask(mask % rows),
+        ] {
+            let mut seen = vec![false; rows];
+            for logical in 0..rows {
+                let phys = scramble.logical_to_physical(logical, rows);
+                prop_assert!(!seen[phys]);
+                seen[phys] = true;
+                prop_assert_eq!(scramble.physical_to_logical(phys, rows), logical);
+            }
+        }
+    }
+
+    /// Every physical address maps to an in-bounds DRAM coordinate under both
+    /// interleaving schemes.
+    #[test]
+    fn address_mapping_is_always_in_bounds(addr in 0u64..(1 << 38)) {
+        let geometry = DramGeometry::table4_system();
+        for mapper in [AddressMapper::Mop, AddressMapper::RowBankColumn] {
+            let coords = mapper.map(&geometry, addr);
+            prop_assert!(geometry.validate(&coords).is_ok());
+        }
+    }
+
+    /// Grid snapping always rounds a threshold up to a tested hammer count.
+    #[test]
+    fn grid_snapping_rounds_up(threshold in 1.0f64..200_000.0) {
+        match snap_to_grid(threshold) {
+            Some(hc) => {
+                prop_assert!(hc as f64 >= threshold);
+                prop_assert!(svard_repro::dram::HAMMER_COUNT_GRID.contains(&hc));
+            }
+            None => prop_assert!(threshold > 128.0 * 1024.0),
+        }
+    }
+
+    /// Vulnerability bins never credit a row with more tolerance than it has,
+    /// regardless of the bin count or range.
+    #[test]
+    fn bins_round_down(
+        worst in 2u64..10_000,
+        span in 1u64..1000,
+        bins in 2usize..17,
+        hc in 0u64..2_000_000,
+    ) {
+        let best = worst * (1 + span % 200);
+        let bins = VulnerabilityBins::geometric(worst, best, bins.min(16));
+        let credited = bins.threshold_of(bins.bin_of(hc));
+        prop_assert!(credited <= hc.max(worst));
+        prop_assert!(credited >= worst);
+    }
+
+    /// The box-plot summary is internally consistent for arbitrary data.
+    #[test]
+    fn box_summary_is_ordered(values in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let b = BoxSummary::of(&values);
+        prop_assert!(b.min <= b.q1 + 1e-9);
+        prop_assert!(b.q1 <= b.median + 1e-9);
+        prop_assert!(b.median <= b.q3 + 1e-9);
+        prop_assert!(b.q3 <= b.max + 1e-9);
+        prop_assert!(b.whisker_low >= b.min - 1e-9 && b.whisker_high <= b.max + 1e-9);
+        prop_assert!(coefficient_of_variation(&values) >= 0.0);
+    }
+
+    /// Svärd's security invariant holds for arbitrary seeds, scaling targets and
+    /// modules: the provider never exceeds the true threshold of either neighbour.
+    #[test]
+    fn svard_security_invariant_holds(seed in 0u64..50, target in 2u64..5000, module in 0usize..15) {
+        let spec = ModuleSpec::all()[module].scaled(128);
+        let profile = ProfileGenerator::new(seed).generate(&spec, 1);
+        let svard = Svard::build(&profile, target, 16);
+        let provider = svard.provider();
+        let truth = svard.scaled_thresholds();
+        let bank = BankId::default();
+        for row in 0..128usize {
+            let below = row.saturating_sub(1);
+            let above = (row + 1).min(127);
+            let true_min = truth[0][below].min(truth[0][above]);
+            prop_assert!(provider.victim_threshold(bank, row) <= true_min);
+        }
+    }
+}
