@@ -46,11 +46,7 @@ impl ConfusionMatrix {
 
     /// All class labels seen as either actual or predicted, ascending.
     pub fn classes(&self) -> Vec<u64> {
-        let mut set: Vec<u64> = self
-            .counts
-            .keys()
-            .flat_map(|&(a, p)| [a, p])
-            .collect();
+        let mut set: Vec<u64> = self.counts.keys().flat_map(|&(a, p)| [a, p]).collect();
         set.sort_unstable();
         set.dedup();
         set
@@ -84,10 +80,7 @@ impl ConfusionMatrix {
 
     /// Support (number of actual samples) of one class.
     pub fn class_support(&self, class: u64) -> u64 {
-        self.classes()
-            .iter()
-            .map(|&p| self.count(class, p))
-            .sum()
+        self.classes().iter().map(|&p| self.count(class, p)).sum()
     }
 
     /// Weighted-average F1 score: per-class F1 weighted by class support. This is

@@ -188,7 +188,7 @@ mod tests {
         };
         let v = feature_vector(&f, &rows);
         assert_eq!(v.len(), 16);
-        assert_eq!(v[2], true);
-        assert_eq!(v[4], false);
+        assert!(v[2]);
+        assert!(!v[4]);
     }
 }

@@ -20,6 +20,7 @@ impl<K: Ord + Copy> CategoricalHistogram<K> {
     }
 
     /// Build a histogram from an iterator of observations.
+    #[allow(clippy::should_implement_trait)] // inherent constructor, keeps call sites simple
     pub fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
         let mut h = Self::new();
         for k in iter {

@@ -24,7 +24,11 @@ pub struct KMeansResult {
 ///
 /// Panics if `k` is 0 or larger than the number of points.
 pub fn kmeans_1d(points: &[f64], k: usize, seed: u64, max_iters: usize) -> KMeansResult {
-    assert!(k > 0 && k <= points.len(), "invalid k = {k} for {} points", points.len());
+    assert!(
+        k > 0 && k <= points.len(),
+        "invalid k = {k} for {} points",
+        points.len()
+    );
     let mut rng = StdRng::seed_from_u64(seed);
 
     // k-means++ initialization.
@@ -67,7 +71,9 @@ pub fn kmeans_1d(points: &[f64], k: usize, seed: u64, max_iters: usize) -> KMean
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    ((p - *a) * (p - *a)).partial_cmp(&((p - *b) * (p - *b))).unwrap()
+                    ((p - *a) * (p - *a))
+                        .partial_cmp(&((p - *b) * (p - *b)))
+                        .unwrap()
                 })
                 .map(|(j, _)| j)
                 .unwrap();
@@ -131,12 +137,9 @@ pub fn silhouette_score_1d(points: &[f64], assignments: &[usize]) -> f64 {
         if own.len() <= 1 {
             continue; // silhouette of a singleton is 0
         }
-        let a = own
-            .iter()
-            .filter(|&&q| q != p || true)
-            .map(|&q| (p - q).abs())
-            .sum::<f64>()
-            / (own.len() - 1) as f64;
+        // The self-distance |p - p| contributes 0, and the divisor excludes the
+        // point itself, as in the standard silhouette a(i).
+        let a = own.iter().map(|&q| (p - q).abs()).sum::<f64>() / (own.len() - 1) as f64;
         let b = clusters
             .iter()
             .enumerate()

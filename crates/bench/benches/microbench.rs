@@ -33,7 +33,9 @@ fn bench_chip_hammer(c: &mut Criterion) {
 }
 
 fn bench_kmeans(c: &mut Criterion) {
-    let points: Vec<f64> = (0..512).map(|i| (i / 16) as f64 * 100.0 + (i % 16) as f64).collect();
+    let points: Vec<f64> = (0..512)
+        .map(|i| (i / 16) as f64 * 100.0 + (i % 16) as f64)
+        .collect();
     c.bench_function("kmeans_1d_512_points_k32", |b| {
         b.iter(|| black_box(kmeans_1d(&points, 32, 7, 50)))
     });
@@ -50,22 +52,41 @@ fn bench_bloom_filter(c: &mut Criterion) {
     });
 }
 
+/// Complete 1000 random reads in queue-sized batches, draining to idle between
+/// batches either with the event-driven fast path or by ticking every cycle.
+/// Both modes simulate the identical schedule and produce identical statistics
+/// (see the fastforward equivalence tests), so their ratio is the speedup of the
+/// event-driven controller.
+fn memsim_1k_random_reads(fast: bool) -> usize {
+    let mut mem = MemorySystem::new(MemoryConfig::small(4096));
+    let mut addr = 0u64;
+    let mut issued = 0u64;
+    let mut done = 0usize;
+    while done < 1000 {
+        while issued < 1000 && mem.enqueue(MemoryRequest::read(issued, addr, 0)).is_ok() {
+            issued += 1;
+            addr = addr.wrapping_add(0x2_0040);
+        }
+        if fast {
+            done += mem.run_until_idle(1_000_000).len();
+        } else {
+            for _ in 0..1_000_000u64 {
+                done += mem.tick().len();
+                if mem.outstanding() == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    done
+}
+
 fn bench_memory_system(c: &mut Criterion) {
     c.bench_function("memsim_1k_random_reads", |b| {
-        b.iter(|| {
-            let mut mem = MemorySystem::new(MemoryConfig::small(4096));
-            let mut addr = 0u64;
-            let mut issued = 0u64;
-            let mut done = 0usize;
-            while done < 1000 {
-                if issued < 1000 && mem.enqueue(MemoryRequest::read(issued, addr, 0)).is_ok() {
-                    issued += 1;
-                    addr = addr.wrapping_add(0x2_0040);
-                }
-                done += mem.tick().len();
-            }
-            black_box(done)
-        })
+        b.iter(|| black_box(memsim_1k_random_reads(true)))
+    });
+    c.bench_function("memsim_1k_random_reads_percycle", |b| {
+        b.iter(|| black_box(memsim_1k_random_reads(false)))
     });
 }
 
@@ -90,10 +111,13 @@ fn bench_defense_activation(c: &mut Criterion) {
         c.bench_function(&format!("defense_on_activation_{kind}"), |b| {
             let mut row = 0usize;
             let mut cycle = 0u64;
+            let mut scratch = Vec::new();
             b.iter(|| {
                 row = (row + 13) % 4096;
                 cycle += 30;
-                black_box(defense.on_activation(BankId::default(), row, cycle))
+                scratch.clear();
+                defense.on_activation(BankId::default(), row, cycle, &mut scratch);
+                black_box(scratch.len())
             })
         });
     }

@@ -6,7 +6,10 @@ use svard_vulnerability::aging::{aging_transition_matrix, AgingModel};
 use svard_vulnerability::ModuleSpec;
 
 fn main() {
-    banner("Fig. 10", "HC_first before vs. after aging (module H3, 68 days)");
+    banner(
+        "Fig. 10",
+        "HC_first before vs. after aging (module H3, 68 days)",
+    );
     let rows = arg_usize("rows", DEFAULT_ROWS * 2);
     let seed = arg_u64("seed", DEFAULT_SEED);
     let days = arg_u64("days", 68) as f64;

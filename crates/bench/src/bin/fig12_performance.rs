@@ -9,9 +9,8 @@
 use svard_bench::*;
 use svard_core::Svard;
 use svard_cpusim::workload::WorkloadMix;
-use svard_defenses::provider::SharedThresholdProvider;
 use svard_defenses::DefenseKind;
-use svard_system::{EvaluationHarness, SystemConfig};
+use svard_system::{EvaluationHarness, SweepPoint, SystemConfig};
 use svard_vulnerability::ModuleSpec;
 
 fn main() {
@@ -32,38 +31,67 @@ fn main() {
     }
 
     let workload_mixes = WorkloadMix::generate(mixes, config.cores, seed);
-    eprintln!("# preparing harness: {} mixes x {} cores x {} instructions", mixes, config.cores, instructions);
+    eprintln!(
+        "# preparing harness: {} mixes x {} cores x {} instructions",
+        mixes, config.cores, instructions
+    );
     let harness = EvaluationHarness::new(config, workload_mixes);
 
     // Per-manufacturer Svärd profiles (S0, M0, H1), plus the No-Svärd baseline.
     let profiles: Vec<_> = ["S0", "M0", "H1"]
         .iter()
-        .map(|label| (label.to_string(), scaled_profile(&ModuleSpec::by_label(label).unwrap(), rows, 1, seed)))
+        .map(|label| {
+            (
+                label.to_string(),
+                scaled_profile(&ModuleSpec::by_label(label).unwrap(), rows, 1, seed),
+            )
+        })
         .collect();
 
-    header(&[
-        "defense", "provider", "hc_first", "weighted_speedup", "harmonic_speedup", "max_slowdown",
-    ]);
+    // Build the whole sweep up front and fan it out across cores; the harness
+    // seeds every point deterministically, so output order and values match a
+    // serial sweep.
+    let mut points: Vec<SweepPoint> = Vec::new();
     for defense in DefenseKind::ALL {
         for &hc in &hc_values {
-            let mut configurations: Vec<(String, SharedThresholdProvider)> = Vec::new();
             let reference = Svard::build(&profiles[0].1, hc, 16);
-            configurations.push(("No Svärd".to_string(), reference.baseline_provider()));
-            for (label, profile) in &profiles {
+            points.push(SweepPoint {
+                defense,
+                provider: reference.baseline_provider(),
+                hc_first: hc,
+            });
+            for (_, profile) in &profiles {
                 let svard = Svard::build(profile, hc, 16);
-                configurations.push((format!("Svärd-{label}"), svard.provider()));
-            }
-            for (name, provider) in configurations {
-                let point = harness.evaluate(defense, provider, hc);
-                row(&[
-                    defense.to_string(),
-                    name,
-                    hc.to_string(),
-                    fmt(point.normalized.weighted_speedup),
-                    fmt(point.normalized.harmonic_speedup),
-                    fmt(point.normalized.max_slowdown),
-                ]);
+                points.push(SweepPoint {
+                    defense,
+                    provider: svard.provider(),
+                    hc_first: hc,
+                });
             }
         }
+    }
+    let labels: Vec<String> = {
+        let mut names = vec!["No Svärd".to_string()];
+        names.extend(profiles.iter().map(|(label, _)| format!("Svärd-{label}")));
+        names
+    };
+
+    header(&[
+        "defense",
+        "provider",
+        "hc_first",
+        "weighted_speedup",
+        "harmonic_speedup",
+        "max_slowdown",
+    ]);
+    for (i, point) in harness.evaluate_all(&points).into_iter().enumerate() {
+        row(&[
+            point.defense.to_string(),
+            labels[i % labels.len()].clone(),
+            point.hc_first.to_string(),
+            fmt(point.normalized.weighted_speedup),
+            fmt(point.normalized.harmonic_speedup),
+            fmt(point.normalized.max_slowdown),
+        ]);
     }
 }

@@ -7,11 +7,14 @@ use svard_core::Svard;
 use svard_cpusim::workload::{WorkloadMix, WorkloadSpec};
 use svard_defenses::provider::SharedThresholdProvider;
 use svard_defenses::DefenseKind;
-use svard_system::{EvaluationHarness, SystemConfig};
+use svard_system::{EvaluationHarness, SweepPoint, SystemConfig};
 use svard_vulnerability::ModuleSpec;
 
 fn main() {
-    banner("Fig. 13", "adversarial access patterns vs. Hydra and RRS at HC_first = 64");
+    banner(
+        "Fig. 13",
+        "adversarial access patterns vs. Hydra and RRS at HC_first = 64",
+    );
     let instructions = arg_u64("instructions", 20_000);
     let rows = arg_usize("rows", 1024);
     let seed = arg_u64("seed", DEFAULT_SEED);
@@ -29,21 +32,37 @@ fn main() {
         let mix = WorkloadMix::adversarial(adversary, config.cores);
         let harness = EvaluationHarness::new(config.clone(), vec![mix]);
 
-        let mut slowdowns: Vec<(String, f64)> = Vec::new();
         let reference = Svard::build(&scaled_profile(&ModuleSpec::s0(), rows, 1, seed), hc, 16);
         let mut configurations: Vec<(String, SharedThresholdProvider)> =
             vec![("No Svärd".into(), reference.baseline_provider())];
         for label in ["S0", "M0", "H1"] {
             let profile = scaled_profile(&ModuleSpec::by_label(label).unwrap(), rows, 1, seed);
-            configurations.push((format!("Svärd-{label}"), Svard::build(&profile, hc, 16).provider()));
+            configurations.push((
+                format!("Svärd-{label}"),
+                Svard::build(&profile, hc, 16).provider(),
+            ));
         }
-        for (name, provider) in configurations {
-            let point = harness.evaluate(defense, provider, hc);
-            // "Slowdown" in Fig. 13 is the performance loss vs. the unprotected
-            // baseline; use the inverse of normalized weighted speedup.
-            let slowdown = 1.0 / point.normalized.weighted_speedup.max(1e-6);
-            slowdowns.push((name, slowdown));
-        }
+        // Fan the four provider configurations out across cores in one sweep.
+        let points: Vec<SweepPoint> = configurations
+            .iter()
+            .map(|(_, provider)| SweepPoint {
+                defense,
+                provider: provider.clone(),
+                hc_first: hc,
+            })
+            .collect();
+        let slowdowns: Vec<(String, f64)> = configurations
+            .iter()
+            .zip(harness.evaluate_all(&points))
+            .map(|((name, _), point)| {
+                // "Slowdown" in Fig. 13 is the performance loss vs. the unprotected
+                // baseline; use the inverse of normalized weighted speedup.
+                (
+                    name.clone(),
+                    1.0 / point.normalized.weighted_speedup.max(1e-6),
+                )
+            })
+            .collect();
         let no_svard = slowdowns[0].1;
         for (name, slowdown) in slowdowns {
             row(&[defense.to_string(), name, fmt(slowdown / no_svard)]);

@@ -7,7 +7,10 @@ use svard_bender::CharacterizationConfig;
 use svard_vulnerability::ModuleSpec;
 
 fn main() {
-    banner("Fig. 3", "BER distribution across rows and banks (box plots + CV)");
+    banner(
+        "Fig. 3",
+        "BER distribution across rows and banks (box plots + CV)",
+    );
     let rows = arg_usize("rows", DEFAULT_ROWS);
     let banks = arg_usize("banks", DEFAULT_BANKS);
     let stride = arg_usize("stride", DEFAULT_STRIDE);
@@ -18,7 +21,15 @@ fn main() {
     };
 
     header(&[
-        "module", "bank", "ber_min", "ber_q1", "ber_median", "ber_q3", "ber_max", "ber_mean", "cv",
+        "module",
+        "bank",
+        "ber_min",
+        "ber_q1",
+        "ber_median",
+        "ber_q3",
+        "ber_max",
+        "ber_mean",
+        "cv",
     ]);
     for spec in modules {
         let mut infra = scaled_infrastructure(&spec, rows, banks, seed);

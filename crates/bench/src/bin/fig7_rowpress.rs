@@ -14,8 +14,14 @@ fn main() {
     let seed = arg_u64("seed", DEFAULT_SEED);
 
     header(&[
-        "manufacturer", "module", "t_agg_on_ns", "hc_first_q1", "hc_first_median",
-        "hc_first_q3", "hc_first_mean", "cv",
+        "manufacturer",
+        "module",
+        "t_agg_on_ns",
+        "hc_first_q1",
+        "hc_first_median",
+        "hc_first_q3",
+        "hc_first_mean",
+        "cv",
     ]);
     for spec in ModuleSpec::representative() {
         for &t_agg_on in &T_AGG_ON_GRID_NS {

@@ -6,7 +6,10 @@ use svard_bender::reverse_engineer_subarrays;
 use svard_vulnerability::ModuleSpec;
 
 fn main() {
-    banner("Fig. 8", "silhouette score vs. k for subarray reverse engineering");
+    banner(
+        "Fig. 8",
+        "silhouette score vs. k for subarray reverse engineering",
+    );
     let rows = arg_usize("rows", 512);
     let seed = arg_u64("seed", DEFAULT_SEED);
 

@@ -8,7 +8,10 @@ use svard_bench::*;
 use svard_vulnerability::ModuleSpec;
 
 fn main() {
-    banner("Fig. 9 / Table 3", "spatial-feature correlation with HC_first");
+    banner(
+        "Fig. 9 / Table 3",
+        "spatial-feature correlation with HC_first",
+    );
     let rows = arg_usize("rows", DEFAULT_ROWS);
     let seed = arg_u64("seed", DEFAULT_SEED);
 

@@ -5,14 +5,25 @@ use svard_bench::{arg_u64, banner, fmt, header, row};
 use svard_core::HardwareCostModel;
 
 fn main() {
-    banner("Section 6.4", "metadata storage area / latency / capacity overheads");
+    banner(
+        "Section 6.4",
+        "metadata storage area / latency / capacity overheads",
+    );
     let mut model = HardwareCostModel::paper_configuration();
     model.rows_per_bank = arg_u64("rows-per-bank", model.rows_per_bank);
     model.bits_per_row = arg_u64("bits-per-row", model.bits_per_row);
 
     let table = model.controller_table();
     let dram = model.in_dram_metadata();
-    header(&["option", "bits_per_bank", "area_per_bank_mm2", "total_area_mm2", "cpu_die_fraction", "access_ns", "dram_overhead_fraction"]);
+    header(&[
+        "option",
+        "bits_per_bank",
+        "area_per_bank_mm2",
+        "total_area_mm2",
+        "cpu_die_fraction",
+        "access_ns",
+        "dram_overhead_fraction",
+    ]);
     row(&[
         "controller_table".into(),
         table.bits_per_bank.to_string(),

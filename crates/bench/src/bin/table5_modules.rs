@@ -2,17 +2,31 @@
 //! `HC_first`, regenerated from the calibrated module specs and the generated
 //! vulnerability profiles.
 
-use svard_bench::{arg_u64, arg_usize, banner, fmt, header, row, scaled_profile, DEFAULT_ROWS, DEFAULT_SEED};
+use svard_bench::{
+    arg_u64, arg_usize, banner, fmt, header, row, scaled_profile, DEFAULT_ROWS, DEFAULT_SEED,
+};
 use svard_vulnerability::ModuleSpec;
 
 fn main() {
-    banner("Table 5", "tested modules and per-module HC_first statistics");
+    banner(
+        "Table 5",
+        "tested modules and per-module HC_first statistics",
+    );
     let rows = arg_usize("rows", DEFAULT_ROWS);
     let seed = arg_u64("seed", DEFAULT_SEED);
     header(&[
-        "module", "vendor", "density_gbit", "die_rev", "org", "rows_per_bank",
-        "hc_first_min", "hc_first_avg", "hc_first_max",
-        "generated_min", "generated_avg", "generated_max",
+        "module",
+        "vendor",
+        "density_gbit",
+        "die_rev",
+        "org",
+        "rows_per_bank",
+        "hc_first_min",
+        "hc_first_avg",
+        "hc_first_max",
+        "generated_min",
+        "generated_avg",
+        "generated_max",
     ]);
     for spec in ModuleSpec::all() {
         let profile = scaled_profile(&spec, rows, 1, seed);

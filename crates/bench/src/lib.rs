@@ -47,13 +47,23 @@ pub fn arg_flag(name: &str) -> bool {
 }
 
 /// Generate the vulnerability profile of one module at experiment scale.
-pub fn scaled_profile(spec: &ModuleSpec, rows: usize, banks: usize, seed: u64) -> ModuleVulnerabilityProfile {
+pub fn scaled_profile(
+    spec: &ModuleSpec,
+    rows: usize,
+    banks: usize,
+    seed: u64,
+) -> ModuleVulnerabilityProfile {
     ProfileGenerator::new(seed).generate(&spec.scaled(rows), banks)
 }
 
 /// Build the test infrastructure (chip + temperature controller) for one module at
 /// experiment scale.
-pub fn scaled_infrastructure(spec: &ModuleSpec, rows: usize, banks: usize, seed: u64) -> TestInfrastructure {
+pub fn scaled_infrastructure(
+    spec: &ModuleSpec,
+    rows: usize,
+    banks: usize,
+    seed: u64,
+) -> TestInfrastructure {
     let profile = scaled_profile(spec, rows, banks, seed);
     TestInfrastructure::new(SimChip::new(profile, ChipConfig::for_characterization(256)))
 }

@@ -134,7 +134,10 @@ impl ModuleCharacterization {
 
     /// All `HC_first` values across all characterized banks.
     pub fn all_hc_first_values(&self) -> Vec<u64> {
-        self.banks.iter().flat_map(|b| b.hc_first_values()).collect()
+        self.banks
+            .iter()
+            .flat_map(|b| b.hc_first_values())
+            .collect()
     }
 
     /// The module's worst-case (minimum) `HC_first`.
@@ -189,8 +192,13 @@ impl TestInfrastructure {
         for &pattern in &config.data_patterns {
             let mut worst_iteration = 0.0f64;
             for _ in 0..config.iterations.max(1) {
-                let ber =
-                    self.measure_ber(bank, row, pattern, config.wcdp_hammer_count, config.t_agg_on_ns);
+                let ber = self.measure_ber(
+                    bank,
+                    row,
+                    pattern,
+                    config.wcdp_hammer_count,
+                    config.t_agg_on_ns,
+                );
                 worst_iteration = worst_iteration.max(ber);
             }
             if worst_iteration > ber_at_max {
@@ -284,6 +292,19 @@ mod tests {
         for row in [10usize, 40, 70] {
             let result = infra.characterize_row(0, row, &config);
             let truth = infra.chip().profile().hc_first(0, row, 36.0);
+            // Rows at a subarray boundary have a single physical aggressor, so
+            // double-sided hammering delivers half the dose and the observed
+            // HC_first is correspondingly higher (cf. tests/end_to_end.rs).
+            if infra
+                .chip()
+                .profile()
+                .bank(0)
+                .subarrays()
+                .is_boundary_row(row)
+            {
+                assert!(result.hc_first >= truth, "row {row}");
+                continue;
+            }
             // The measured HC_first can only differ from the ground truth by data
             // pattern coupling; with the worst-case pattern they must agree.
             assert_eq!(result.hc_first, truth, "row {row}");
@@ -342,8 +363,11 @@ mod tests {
         };
         let row = 33;
         let fast = mk().characterize_row(0, row, &CharacterizationConfig::paper());
-        let pressed =
-            mk().characterize_row(0, row, &CharacterizationConfig::paper().with_t_agg_on(2000.0));
+        let pressed = mk().characterize_row(
+            0,
+            row,
+            &CharacterizationConfig::paper().with_t_agg_on(2000.0),
+        );
         match (fast.hc_first, pressed.hc_first) {
             (Some(f), Some(p)) => assert!(p <= f, "pressed {p} vs fast {f}"),
             (None, _) => {} // row too strong to flip at 36 ns; nothing to compare

@@ -238,7 +238,10 @@ mod tests {
         let truth = infra.chip().profile().bank(0).subarrays().clone();
         let result = reverse_engineer_subarrays(&mut infra, 0, 0, 1);
         for &row in &result.boundary_evidence {
-            assert!(truth.is_boundary_row(row), "row {row} is not a boundary row");
+            assert!(
+                truth.is_boundary_row(row),
+                "row {row} is not a boundary row"
+            );
         }
     }
 

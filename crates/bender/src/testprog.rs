@@ -67,12 +67,7 @@ impl TestProgram {
     }
 
     /// Append a whole-row initialization: ACT, one WR per column, PRE.
-    pub fn initialize_row(
-        &mut self,
-        row: &DramAddress,
-        columns: usize,
-        timing: &TimingParams,
-    ) {
+    pub fn initialize_row(&mut self, row: &DramAddress, columns: usize, timing: &TimingParams) {
         let t_rcd_ns = timing.t_rcd_ps as f64 / 1000.0;
         let t_rp_ns = timing.t_rp_ps as f64 / 1000.0;
         let t_ccd_ns = timing.t_ccd_l_ps as f64 / 1000.0;
@@ -143,8 +138,16 @@ mod tests {
         let row = DramAddress::row_in_bank0(5);
         p.initialize_row(&row, 8, &timing);
         p.read_row(&row, 8, &timing);
-        let writes = p.commands().iter().filter(|c| matches!(c, DramCommand::Write(_))).count();
-        let reads = p.commands().iter().filter(|c| matches!(c, DramCommand::Read(_))).count();
+        let writes = p
+            .commands()
+            .iter()
+            .filter(|c| matches!(c, DramCommand::Write(_)))
+            .count();
+        let reads = p
+            .commands()
+            .iter()
+            .filter(|c| matches!(c, DramCommand::Read(_)))
+            .count();
         assert_eq!(writes, 8);
         assert_eq!(reads, 8);
         assert!(p.duration_ns() > 0.0);

@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use svard_dram::{DramError, DramCommand};
+use svard_dram::{DramCommand, DramError};
 use svard_vulnerability::cells;
 use svard_vulnerability::factors::{rowpress_amplification, temperature_factor};
 use svard_vulnerability::ModuleVulnerabilityProfile;
@@ -125,7 +125,7 @@ impl SimChip {
         match cmd {
             DramCommand::Activate(a) => self.activate(self.flat_bank_of(a), a.row, now_ns),
             DramCommand::Precharge(b) => {
-                let flat = b.index_in_rank(4) % self.banks.len();
+                let flat = b.index_in_rank(self.config.banks_per_group) % self.banks.len();
                 self.precharge(flat, now_ns)
             }
             DramCommand::PrechargeAll { .. } => {
@@ -153,13 +153,18 @@ impl SimChip {
     }
 
     fn flat_bank_of(&self, a: &svard_dram::DramAddress) -> usize {
-        (a.bank_group * 4 + a.bank) % self.banks.len()
+        (a.bank_group * self.config.banks_per_group + a.bank) % self.banks.len()
     }
 
     /// Activate (open) a logical row in a bank. Any read disturbance the row has
     /// accumulated materializes as bitflips at this point, and its dose resets
     /// (sensing restores the cell charge).
-    pub fn activate(&mut self, bank: usize, logical_row: usize, now_ns: f64) -> Result<(), DramError> {
+    pub fn activate(
+        &mut self,
+        bank: usize,
+        logical_row: usize,
+        now_ns: f64,
+    ) -> Result<(), DramError> {
         self.check_bank(bank)?;
         self.check_row(logical_row)?;
         if self.banks[bank].is_open() {
@@ -199,7 +204,12 @@ impl SimChip {
 
     /// Read one column (64-byte cache line worth of data, truncated to the row size)
     /// from the bank's open row.
-    pub fn read(&mut self, bank: usize, logical_row: usize, column: usize) -> Result<Vec<u8>, DramError> {
+    pub fn read(
+        &mut self,
+        bank: usize,
+        logical_row: usize,
+        column: usize,
+    ) -> Result<Vec<u8>, DramError> {
         self.check_bank(bank)?;
         let phys = self.to_physical(logical_row);
         if self.banks[bank].open_row != Some(phys) {
@@ -215,7 +225,13 @@ impl SimChip {
     }
 
     /// Write one byte to every cell of a 64-byte column of the open row.
-    pub fn write(&mut self, bank: usize, logical_row: usize, column: usize, byte: u8) -> Result<(), DramError> {
+    pub fn write(
+        &mut self,
+        bank: usize,
+        logical_row: usize,
+        column: usize,
+        byte: u8,
+    ) -> Result<(), DramError> {
         self.check_bank(bank)?;
         let phys = self.to_physical(logical_row);
         if self.banks[bank].open_row != Some(phys) {
@@ -298,9 +314,21 @@ impl SimChip {
     }
 
     /// Count the bits of a logical row that differ from a repeated expected byte.
-    pub fn count_bitflips(&mut self, bank: usize, logical_row: usize, expected: u8) -> Result<usize, DramError> {
-        let data = self.read_row(bank, logical_row)?;
-        Ok(data
+    /// Counts in place over the stored row — no copy of the row data is made.
+    pub fn count_bitflips(
+        &mut self,
+        bank: usize,
+        logical_row: usize,
+        expected: u8,
+    ) -> Result<usize, DramError> {
+        self.check_bank(bank)?;
+        self.check_row(logical_row)?;
+        let phys = self.to_physical(logical_row);
+        // Sensing the row materializes pending disturbance first, exactly as
+        // `read_row` would.
+        self.materialize(bank, phys);
+        Ok(self.banks[bank].rows[phys]
+            .data
             .iter()
             .map(|b| (b ^ expected).count_ones() as usize)
             .sum())
@@ -350,7 +378,11 @@ impl SimChip {
         self.hammer_physical_aggressor(bank, phys, hammer_count, t_agg_on_ns);
         Ok(victims
             .into_iter()
-            .map(|v| self.config.scramble.physical_to_logical(v, self.rows_per_bank()))
+            .map(|v| {
+                self.config
+                    .scramble
+                    .physical_to_logical(v, self.rows_per_bank())
+            })
             .collect())
     }
 
@@ -359,7 +391,12 @@ impl SimChip {
     ///
     /// Copies across subarray boundaries always fail (the rows do not share local
     /// bitlines); copies within a subarray succeed with the configured probability.
-    pub fn attempt_rowclone(&mut self, bank: usize, src_logical: usize, dst_logical: usize) -> Result<bool, DramError> {
+    pub fn attempt_rowclone(
+        &mut self,
+        bank: usize,
+        src_logical: usize,
+        dst_logical: usize,
+    ) -> Result<bool, DramError> {
         self.check_bank(bank)?;
         self.check_row(src_logical)?;
         self.check_row(dst_logical)?;
@@ -410,7 +447,13 @@ impl SimChip {
         out
     }
 
-    fn hammer_physical_aggressor(&mut self, bank: usize, aggressor_phys: usize, count: u64, t_agg_on_ns: f64) {
+    fn hammer_physical_aggressor(
+        &mut self,
+        bank: usize,
+        aggressor_phys: usize,
+        count: u64,
+        t_agg_on_ns: f64,
+    ) {
         self.banks[bank].rows[aggressor_phys].activations += count;
         self.stats.activations += count;
         self.stats.precharges += count;
@@ -424,8 +467,15 @@ impl SimChip {
         self.disturb_neighbours(bank, aggressor_phys, count, t_agg_on_ns);
     }
 
-    fn disturb_neighbours(&mut self, bank: usize, aggressor_phys: usize, activations: u64, t_agg_on_ns: f64) {
-        let amp = rowpress_amplification(t_agg_on_ns) * temperature_factor(self.config.temperature_c);
+    fn disturb_neighbours(
+        &mut self,
+        bank: usize,
+        aggressor_phys: usize,
+        activations: u64,
+        t_agg_on_ns: f64,
+    ) {
+        let amp =
+            rowpress_amplification(t_agg_on_ns) * temperature_factor(self.config.temperature_c);
         let rows = self.rows_per_bank();
         // Distance-1 victims (same subarray only).
         for victim in self.physical_neighbours(aggressor_phys) {
@@ -524,11 +574,16 @@ mod tests {
         chip.fill_row(0, victim - 1, 0xFF).unwrap();
         chip.fill_row(0, victim + 1, 0xFF).unwrap();
         // 256K hammers is well above any S0 threshold (max 128K).
-        let flips = chip.hammer_double_sided(0, victim, 256 * 1024, 36.0).unwrap();
+        let flips = chip
+            .hammer_double_sided(0, victim, 256 * 1024, 36.0)
+            .unwrap();
         assert!(flips > 0);
-        assert_eq!(chip.count_bitflips(0, victim, 0x00).unwrap() as u64, 0.max(0) + {
+        assert_eq!(chip.count_bitflips(0, victim, 0x00).unwrap() as u64, {
             // bitflips persist in the stored data
-            chip.peek_row(0, victim).iter().map(|b| b.count_ones() as u64).sum::<u64>()
+            chip.peek_row(0, victim)
+                .iter()
+                .map(|b| b.count_ones() as u64)
+                .sum::<u64>()
         });
     }
 
@@ -555,14 +610,16 @@ mod tests {
             chip.fill_row(0, victim, 0x00).unwrap();
             chip.fill_row(0, victim - 1, 0xFF).unwrap();
             chip.fill_row(0, victim + 1, 0xFF).unwrap();
-            chip.hammer_double_sided(0, victim, 40 * 1024, 36.0).unwrap()
+            chip.hammer_double_sided(0, victim, 40 * 1024, 36.0)
+                .unwrap()
         };
         let hc_press = {
             let mut chip = SimChip::new(profile, config);
             chip.fill_row(0, victim, 0x00).unwrap();
             chip.fill_row(0, victim - 1, 0xFF).unwrap();
             chip.fill_row(0, victim + 1, 0xFF).unwrap();
-            chip.hammer_double_sided(0, victim, 40 * 1024, 2000.0).unwrap()
+            chip.hammer_double_sided(0, victim, 40 * 1024, 2000.0)
+                .unwrap()
         };
         assert!(hc_press >= hc_36, "pressing must not reduce disturbance");
     }
@@ -576,10 +633,12 @@ mod tests {
         chip.fill_row(0, victim + 1, 0xFF).unwrap();
         // Hammer to just below the minimum threshold, refresh, hammer again: the two
         // half-doses must not add up to a flip.
-        chip.hammer_double_sided(0, victim, 20 * 1024, 36.0).unwrap();
+        chip.hammer_double_sided(0, victim, 20 * 1024, 36.0)
+            .unwrap();
         // hammer_double_sided materializes (and thus resets) the victim at the end,
         // so explicitly accumulate dose without materializing via single-sided calls.
-        chip.hammer_single_sided(0, victim - 1, 20 * 1024, 36.0).unwrap();
+        chip.hammer_single_sided(0, victim - 1, 20 * 1024, 36.0)
+            .unwrap();
         assert!(chip.pending_dose(0, victim) > 0.0);
         chip.refresh_row(0, victim).unwrap();
         assert_eq!(chip.pending_dose(0, victim), 0.0);
@@ -629,8 +688,7 @@ mod tests {
     #[test]
     fn scrambled_chip_disturbs_physical_neighbours() {
         let profile = ProfileGenerator::new(9).generate(&ModuleSpec::s0().scaled(256), 1);
-        let config =
-            ChipConfig::for_characterization(64).with_scramble(RowScramble::LowBitSwizzle);
+        let config = ChipConfig::for_characterization(64).with_scramble(RowScramble::LowBitSwizzle);
         let mut chip = SimChip::new(profile, config);
         let aggressor_logical = 50;
         let disturbed = chip
@@ -644,6 +702,31 @@ mod tests {
             let vp = scramble.logical_to_physical(v, 256);
             assert_eq!(vp.abs_diff(agg_phys), 1);
         }
+    }
+
+    #[test]
+    fn bank_flattening_respects_configured_banks_per_group() {
+        use svard_dram::{DramAddress, DramCommand};
+        // 8 banks arranged as 4 groups of 2 (not the DDR4 default of 4 per group).
+        let profile = ProfileGenerator::new(11).generate(&ModuleSpec::s0().scaled(64), 8);
+        let config = ChipConfig::for_characterization(64).with_banks_per_group(2);
+        let mut chip = SimChip::new(profile, config);
+        // (bank_group 1, bank 0) flattens to bank 2 under 2 banks/group (it would
+        // be bank 4 under the old hard-coded DDR4 grouping).
+        let addr = DramAddress {
+            bank_group: 1,
+            bank: 0,
+            row: 5,
+            ..DramAddress::default()
+        };
+        chip.execute(&DramCommand::Activate(addr.clone()), 0.0)
+            .unwrap();
+        assert_eq!(chip.banks[2].open_row, Some(5));
+        assert!(chip.banks[4].open_row.is_none());
+        // Precharge through the command interface closes the same bank.
+        chip.execute(&DramCommand::Precharge(addr.bank_id()), 50.0)
+            .unwrap();
+        assert!(chip.banks[2].open_row.is_none());
     }
 
     #[test]
@@ -699,7 +782,9 @@ mod tests {
         // threshold overall. TRR should keep resetting the victim's dose.
         let chunk = (min_hc / 16).max(1);
         for _ in 0..32 {
-            with_trr.hammer_double_sided(0, victim - 1, 0, 36.0).unwrap(); // no-op keeps API parity
+            with_trr
+                .hammer_double_sided(0, victim - 1, 0, 36.0)
+                .unwrap(); // no-op keeps API parity
             for chip in [&mut with_trr, &mut without_trr] {
                 for agg in [victim - 1, victim + 1] {
                     chip.hammer_single_sided(0, agg, chunk, 36.0).unwrap();

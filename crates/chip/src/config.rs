@@ -29,6 +29,9 @@ pub struct ChipConfig {
     /// Optional on-die TRR mitigation. `None` models the paper's test setup, which
     /// bypasses TRR by disabling refresh.
     pub trr: Option<TrrConfig>,
+    /// Banks per bank group of the modelled device (DDR4: 4). Used to flatten
+    /// `(bank_group, bank)` coordinates of incoming DRAM commands.
+    pub banks_per_group: usize,
 }
 
 impl ChipConfig {
@@ -44,6 +47,7 @@ impl ChipConfig {
             rowclone_success_rate: 0.95,
             timing: TimingParams::ddr4_3200(),
             trr: None,
+            banks_per_group: 4,
         }
     }
 
@@ -63,6 +67,13 @@ impl ChipConfig {
     /// Set the operating temperature.
     pub fn with_temperature(mut self, temperature_c: f64) -> Self {
         self.temperature_c = temperature_c;
+        self
+    }
+
+    /// Set the number of banks per bank group (for non-DDR4 geometries).
+    pub fn with_banks_per_group(mut self, banks_per_group: usize) -> Self {
+        assert!(banks_per_group >= 1, "need at least one bank per group");
+        self.banks_per_group = banks_per_group;
         self
     }
 

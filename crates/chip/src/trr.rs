@@ -70,7 +70,7 @@ impl TrrState {
     /// whose *neighbours* should be preventively refreshed, and ages the table.
     pub fn on_refresh(&mut self) -> Vec<usize> {
         let mut ranked = self.entries.clone();
-        ranked.sort_by(|a, b| b.1.cmp(&a.1));
+        ranked.sort_by_key(|e| std::cmp::Reverse(e.1));
         let victims: Vec<usize> = ranked
             .iter()
             .take(self.config.victims_refreshed_per_ref)

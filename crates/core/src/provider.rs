@@ -78,14 +78,9 @@ mod tests {
         let worst = *thresholds.iter().min().unwrap();
         let best = *thresholds.iter().max().unwrap();
         let bins = VulnerabilityBins::geometric(worst, best, 16);
-        let table = assign_bins(&[thresholds.clone()], &bins);
-        let provider = SvardProvider::new(
-            bins,
-            BinStorage::exact(table),
-            thresholds.len(),
-            16,
-            "TEST",
-        );
+        let table = assign_bins(std::slice::from_ref(&thresholds), &bins);
+        let provider =
+            SvardProvider::new(bins, BinStorage::exact(table), thresholds.len(), 16, "TEST");
         (provider, thresholds)
     }
 

@@ -90,9 +90,7 @@ impl BinStorage {
                 .iter()
                 .map(|b| b.len() as u64 * bits_per_row as u64)
                 .sum(),
-            BinStorage::Bloom { filters, .. } => {
-                filters.iter().map(|f| f.bits.len() as u64).sum()
-            }
+            BinStorage::Bloom { filters, .. } => filters.iter().map(|f| f.bits.len() as u64).sum(),
         }
     }
 }
@@ -114,7 +112,8 @@ impl BloomSet {
     }
 
     fn index(&self, bank: usize, row: usize, i: usize) -> usize {
-        let mut x = (bank as u64) << 40 ^ row as u64 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut x =
+            (bank as u64) << 40 ^ row as u64 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         x ^= x >> 33;
         x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
         x ^= x >> 29;
@@ -136,10 +135,7 @@ impl BloomSet {
 }
 
 /// Assign every row of a scaled profile to a bin.
-pub fn assign_bins(
-    thresholds: &[Vec<u64>],
-    bins: &VulnerabilityBins,
-) -> Vec<Vec<u8>> {
+pub fn assign_bins(thresholds: &[Vec<u64>], bins: &VulnerabilityBins) -> Vec<Vec<u8>> {
     thresholds
         .iter()
         .map(|bank| bank.iter().map(|&t| bins.bin_of(t)).collect())
@@ -166,9 +162,9 @@ mod tests {
     fn exact_storage_round_trips() {
         let bins = sample_bins();
         let storage = BinStorage::exact(bins.clone());
-        for bank in 0..2 {
-            for row in 0..64 {
-                assert_eq!(storage.bin_of(bank, row), bins[bank][row]);
+        for (bank, bank_bins) in bins.iter().enumerate() {
+            for (row, &expected) in bank_bins.iter().enumerate() {
+                assert_eq!(storage.bin_of(bank, row), expected);
             }
         }
         assert_eq!(storage.metadata_bits(4), 2 * 64 * 4);
@@ -184,11 +180,11 @@ mod tests {
     fn bloom_storage_is_conservative() {
         let bins = sample_bins();
         let storage = BinStorage::bloom(&bins, 16, 4096);
-        for bank in 0..2 {
-            for row in 0..64 {
+        for (bank, bank_bins) in bins.iter().enumerate() {
+            for (row, &true_bin) in bank_bins.iter().enumerate() {
                 // The compressed answer may be lower (more conservative) but never
                 // higher than the true bin.
-                assert!(storage.bin_of(bank, row) <= bins[bank][row]);
+                assert!(storage.bin_of(bank, row) <= true_bin);
             }
         }
     }

@@ -33,7 +33,12 @@ impl Svard {
         target_worst_case: u64,
         num_bins: usize,
     ) -> Self {
-        Self::build_with_storage(profile, target_worst_case, num_bins, StorageKind::ControllerTable)
+        Self::build_with_storage(
+            profile,
+            target_worst_case,
+            num_bins,
+            StorageKind::ControllerTable,
+        )
     }
 
     /// [`build`](Self::build) with an explicit metadata-storage option.
@@ -215,7 +220,10 @@ mod tests {
         }
         // S0 has a wide HC_first spread: most rows tolerate noticeably more than the
         // worst case, which is exactly where Svärd's gains come from.
-        assert!(above_worst_case > 1024, "only {above_worst_case} rows benefit");
+        assert!(
+            above_worst_case > 1024,
+            "only {above_worst_case} rows benefit"
+        );
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! A per-core last-level cache model (Table 4: 2 MiB per core).
 
-use std::collections::HashMap;
-
 /// Outcome of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheOutcome {
@@ -30,9 +28,14 @@ struct Line {
 }
 
 /// A set-associative, write-back, LRU last-level cache.
+///
+/// Sets are stored in a directly indexed vector (not a hash map): the set index
+/// is computed from the address, so every access is one bounds-checked index
+/// plus a short way scan — this sits on the per-instruction hot path of the
+/// core model.
 #[derive(Debug, Clone)]
 pub struct LastLevelCache {
-    sets: HashMap<u64, Vec<Line>>,
+    sets: Vec<Vec<Line>>,
     num_sets: u64,
     associativity: usize,
     line_bytes: u64,
@@ -48,7 +51,7 @@ impl LastLevelCache {
         let line_bytes = 64;
         let num_sets = (capacity_bytes / line_bytes / associativity as u64).max(1);
         Self {
-            sets: HashMap::new(),
+            sets: vec![Vec::new(); num_sets as usize],
             num_sets,
             associativity,
             line_bytes,
@@ -71,7 +74,7 @@ impl LastLevelCache {
         let tag = line_addr / self.num_sets;
         let counter = self.access_counter;
         let assoc = self.associativity;
-        let set = self.sets.entry(set_index).or_default();
+        let set = &mut self.sets[set_index as usize];
 
         if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
             line.last_used = counter;

@@ -63,6 +63,10 @@ pub struct SimpleCore {
     next_request_id: u64,
     cycles: u64,
     finish_cycle: Option<u64>,
+    /// The last retire attempt was a no-op and none of its inputs (outstanding
+    /// completions, issued, retired) have changed since — the retire scan can be
+    /// skipped until a completion arrives or an instruction issues.
+    retire_quiet: bool,
 }
 
 impl SimpleCore {
@@ -93,6 +97,7 @@ impl SimpleCore {
             next_request_id: (id as u64) << 48,
             cycles: 0,
             finish_cycle: None,
+            retire_quiet: false,
         };
         // Stash the first event's memory access as the next access to perform.
         core.stash_event(first);
@@ -139,39 +144,60 @@ impl SimpleCore {
             .find(|m| m.request_id == request_id)
         {
             m.done = true;
+            self.retire_quiet = false;
         }
     }
 
     /// Advance the core by one cycle, issuing LLC misses into `memory`.
-    pub fn tick(&mut self, memory: &mut MemorySystem) {
+    ///
+    /// Returns whether the tick made any progress: retired or issued an
+    /// instruction, enqueued a request, or mutated cache state while trying. A
+    /// `false` return means this tick was a pure stall — and the core will keep
+    /// stalling until the memory system's state changes, which is what the
+    /// system runner's fast-forwarding relies on.
+    pub fn tick(&mut self, memory: &mut MemorySystem) -> bool {
         if self.finished() {
-            return;
+            return false;
         }
         self.cycles += 1;
+        let mut progressed = false;
 
         // --- Retire: in order, up to `width`, never past an incomplete miss. -----
-        self.outstanding.retain(|m| !(m.done && m.seq <= self.retired + 1));
-        let oldest_incomplete = self
-            .outstanding
-            .iter()
-            .filter(|m| !m.done)
-            .map(|m| m.seq)
-            .min();
-        let retire_limit = oldest_incomplete.map_or(self.issued, |seq| seq.saturating_sub(1));
-        let retire_to = (self.retired + self.config.width as u64)
-            .min(retire_limit)
-            .min(self.issued)
-            .min(self.instruction_limit);
-        if retire_to > self.retired {
-            self.retired = retire_to;
-        }
-        if self.finished() && self.finish_cycle.is_none() {
-            self.finish_cycle = Some(self.cycles);
-            return;
+        // Skipped while quiescent: a fruitless retire attempt stays fruitless
+        // until a completion arrives or an instruction issues.
+        if !self.retire_quiet {
+            // One pass: drop retired completed misses and find the oldest
+            // incomplete.
+            let retired_now = self.retired;
+            let mut oldest_incomplete: Option<u64> = None;
+            self.outstanding.retain(|m| {
+                if !m.done {
+                    oldest_incomplete = Some(oldest_incomplete.map_or(m.seq, |o| o.min(m.seq)));
+                    true
+                } else {
+                    m.seq > retired_now + 1
+                }
+            });
+            let retire_limit = oldest_incomplete.map_or(self.issued, |seq| seq.saturating_sub(1));
+            let retire_to = (self.retired + self.config.width as u64)
+                .min(retire_limit)
+                .min(self.issued)
+                .min(self.instruction_limit);
+            if retire_to > self.retired {
+                self.retired = retire_to;
+                progressed = true;
+            } else {
+                self.retire_quiet = true;
+            }
+            if self.finished() && self.finish_cycle.is_none() {
+                self.finish_cycle = Some(self.cycles);
+                return true;
+            }
         }
 
         // --- Issue: up to `width` instructions, window and MSHR permitting. ------
-        for _ in 0..self.config.width {
+        let mut slots = self.config.width as u64;
+        while slots > 0 {
             if self.issued >= self.instruction_limit {
                 break;
             }
@@ -191,6 +217,8 @@ impl SimpleCore {
                             });
                         }
                         self.issued += 1;
+                        slots -= 1;
+                        progressed = true;
                         self.advance_trace();
                     }
                     Err(req) => {
@@ -201,23 +229,39 @@ impl SimpleCore {
                 continue;
             }
             if self.non_mem_remaining > 0 {
-                self.non_mem_remaining -= 1;
-                self.issued += 1;
+                // Issue the whole run of non-memory instructions that fits in the
+                // remaining slots, window and budget in one step (equivalent to,
+                // but cheaper than, one loop iteration per instruction).
+                let n = u64::from(self.non_mem_remaining)
+                    .min(slots)
+                    .min(self.instruction_limit - self.issued)
+                    .min(self.config.window - (self.issued - self.retired));
+                self.non_mem_remaining -= n as u32;
+                self.issued += n;
+                slots -= n;
+                progressed = true;
                 continue;
             }
             // The next instruction is the stashed memory access.
             let Some((address, is_write)) = self.next_access else {
                 self.issued += 1;
+                slots -= 1;
+                progressed = true;
                 continue;
             };
             let outcome = if self.bypass_llc {
                 CacheOutcome::Miss { writeback: None }
             } else {
+                // The LLC access below updates recency/dirty state (and installs
+                // the line on a miss), so reaching it counts as progress even if
+                // the instruction ends up blocked on a full MSHR list or queue.
+                progressed = true;
                 self.llc.access(address, is_write)
             };
             match outcome {
                 CacheOutcome::Hit => {
                     self.issued += 1;
+                    slots -= 1;
                     self.advance_trace();
                 }
                 CacheOutcome::Miss { writeback } => {
@@ -226,6 +270,9 @@ impl SimpleCore {
                     {
                         break; // MSHRs full; retry next cycle
                     }
+                    // Past the MSHR check the tick always mutates state (request
+                    // ids, writeback enqueue, pending-request bookkeeping).
+                    progressed = true;
                     // Issue the writeback first (not tracked for retirement).
                     if let Some(wb_addr) = writeback {
                         let wb = MemoryRequest::new(
@@ -259,6 +306,7 @@ impl SimpleCore {
                                 });
                             }
                             self.issued += 1;
+                            slots -= 1;
                             self.advance_trace();
                         }
                         Err(req) => {
@@ -269,6 +317,96 @@ impl SimpleCore {
                     }
                 }
             }
+        }
+        if progressed {
+            // Issuing (or enqueueing) changes the retire inputs.
+            self.retire_quiet = false;
+        }
+        progressed
+    }
+
+    /// Whether a [`tick`](Self::tick) against the current memory-system state
+    /// would make any observable progress (retire or issue at least one
+    /// instruction, or mutate cache/memory state while trying).
+    ///
+    /// When this returns `false` the core is *stalled*: its next tick would only
+    /// increment the cycle counter, and that stays true until the memory system
+    /// reaches its next event (a completion, a scheduling opportunity that frees a
+    /// queue slot, or a refresh). This is what lets the system runner fast-forward
+    /// whole stall windows; the blocked conditions below mirror the early exits of
+    /// `tick` exactly.
+    pub fn can_make_progress(&self, memory: &MemorySystem) -> bool {
+        if self.finished() {
+            return false;
+        }
+        // Cheap path first: can the first issue slot do anything? (Mirrors the
+        // issue loop's break conditions.)
+        if self.issued < self.instruction_limit && self.issued - self.retired < self.config.window {
+            match &self.pending_request {
+                Some(req) => {
+                    // A previously rejected request is retried first; it makes
+                    // progress iff the corresponding queue has room.
+                    let accepted = match req.kind {
+                        RequestKind::Read => memory.can_accept_read(),
+                        RequestKind::Write => memory.can_accept_write(),
+                    };
+                    if accepted {
+                        return true;
+                    }
+                }
+                None => {
+                    if self.non_mem_remaining > 0 || self.next_access.is_none() {
+                        return true;
+                    }
+                    if !self.bypass_llc {
+                        // A cached workload's next access consults (and mutates)
+                        // the LLC, so the tick always makes progress in the sense
+                        // that matters for equivalence.
+                        return true;
+                    }
+                    // Adversarial cores miss on every access without touching the
+                    // LLC, so a full MSHR list genuinely blocks them with no state
+                    // change.
+                    if self.outstanding.iter().filter(|m| !m.done).count()
+                        < self.config.max_outstanding_misses
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        // Issue is blocked; can anything retire this cycle? (Mirrors the retire
+        // section of `tick`.)
+        let oldest_incomplete = self
+            .outstanding
+            .iter()
+            .filter(|m| !m.done)
+            .map(|m| m.seq)
+            .min();
+        let retire_limit = oldest_incomplete.map_or(self.issued, |seq| seq.saturating_sub(1));
+        let retire_to = (self.retired + self.config.width as u64)
+            .min(retire_limit)
+            .min(self.issued)
+            .min(self.instruction_limit);
+        retire_to > self.retired
+    }
+
+    /// The next cycle (strictly after `now`) at which this core will do work, or
+    /// `None` if it is finished or stalled until the memory system's next event.
+    pub fn next_ready_cycle(&self, now: u64, memory: &MemorySystem) -> Option<u64> {
+        if self.can_make_progress(memory) {
+            Some(now + 1)
+        } else {
+            None
+        }
+    }
+
+    /// Account for `n` skipped stall cycles (during which
+    /// [`can_make_progress`](Self::can_make_progress) was `false`), keeping the
+    /// cycle counter — and therefore IPC — identical to ticking through the stall.
+    pub fn skip_stalled_cycles(&mut self, n: u64) {
+        if !self.finished() {
+            self.cycles += n;
         }
     }
 

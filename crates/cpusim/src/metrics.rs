@@ -11,11 +11,7 @@
 /// Weighted speedup of a multiprogrammed run.
 pub fn weighted_speedup(alone_ipc: &[f64], shared_ipc: &[f64]) -> f64 {
     check(alone_ipc, shared_ipc);
-    alone_ipc
-        .iter()
-        .zip(shared_ipc)
-        .map(|(&a, &s)| s / a)
-        .sum()
+    alone_ipc.iter().zip(shared_ipc).map(|(&a, &s)| s / a).sum()
 }
 
 /// Harmonic speedup of a multiprogrammed run.

@@ -63,18 +63,102 @@ impl WorkloadSpec {
     /// follows suit by weighting intensive workloads more heavily).
     pub fn catalogue() -> Vec<WorkloadSpec> {
         vec![
-            WorkloadSpec { name: "spec06-mcf-like", class: WorkloadClass::SpecCpu2006, mem_per_kilo_instr: 70, working_set_bytes: 256 << 20, sequential_fraction: 0.25, read_fraction: 0.75 },
-            WorkloadSpec { name: "spec06-libquantum-like", class: WorkloadClass::SpecCpu2006, mem_per_kilo_instr: 55, working_set_bytes: 64 << 20, sequential_fraction: 0.85, read_fraction: 0.80 },
-            WorkloadSpec { name: "spec06-gcc-like", class: WorkloadClass::SpecCpu2006, mem_per_kilo_instr: 18, working_set_bytes: 32 << 20, sequential_fraction: 0.55, read_fraction: 0.70 },
-            WorkloadSpec { name: "spec17-lbm-like", class: WorkloadClass::SpecCpu2017, mem_per_kilo_instr: 75, working_set_bytes: 512 << 20, sequential_fraction: 0.80, read_fraction: 0.55 },
-            WorkloadSpec { name: "spec17-cam4-like", class: WorkloadClass::SpecCpu2017, mem_per_kilo_instr: 35, working_set_bytes: 128 << 20, sequential_fraction: 0.60, read_fraction: 0.65 },
-            WorkloadSpec { name: "spec17-xz-like", class: WorkloadClass::SpecCpu2017, mem_per_kilo_instr: 22, working_set_bytes: 96 << 20, sequential_fraction: 0.40, read_fraction: 0.72 },
-            WorkloadSpec { name: "tpc-c-like", class: WorkloadClass::Tpc, mem_per_kilo_instr: 45, working_set_bytes: 384 << 20, sequential_fraction: 0.15, read_fraction: 0.60 },
-            WorkloadSpec { name: "tpc-h-like", class: WorkloadClass::Tpc, mem_per_kilo_instr: 60, working_set_bytes: 512 << 20, sequential_fraction: 0.45, read_fraction: 0.85 },
-            WorkloadSpec { name: "mediabench-h264-like", class: WorkloadClass::MediaBench, mem_per_kilo_instr: 30, working_set_bytes: 16 << 20, sequential_fraction: 0.90, read_fraction: 0.70 },
-            WorkloadSpec { name: "mediabench-jpeg-like", class: WorkloadClass::MediaBench, mem_per_kilo_instr: 40, working_set_bytes: 8 << 20, sequential_fraction: 0.92, read_fraction: 0.65 },
-            WorkloadSpec { name: "ycsb-a-like", class: WorkloadClass::Ycsb, mem_per_kilo_instr: 50, working_set_bytes: 768 << 20, sequential_fraction: 0.10, read_fraction: 0.50 },
-            WorkloadSpec { name: "ycsb-c-like", class: WorkloadClass::Ycsb, mem_per_kilo_instr: 48, working_set_bytes: 768 << 20, sequential_fraction: 0.10, read_fraction: 0.95 },
+            WorkloadSpec {
+                name: "spec06-mcf-like",
+                class: WorkloadClass::SpecCpu2006,
+                mem_per_kilo_instr: 70,
+                working_set_bytes: 256 << 20,
+                sequential_fraction: 0.25,
+                read_fraction: 0.75,
+            },
+            WorkloadSpec {
+                name: "spec06-libquantum-like",
+                class: WorkloadClass::SpecCpu2006,
+                mem_per_kilo_instr: 55,
+                working_set_bytes: 64 << 20,
+                sequential_fraction: 0.85,
+                read_fraction: 0.80,
+            },
+            WorkloadSpec {
+                name: "spec06-gcc-like",
+                class: WorkloadClass::SpecCpu2006,
+                mem_per_kilo_instr: 18,
+                working_set_bytes: 32 << 20,
+                sequential_fraction: 0.55,
+                read_fraction: 0.70,
+            },
+            WorkloadSpec {
+                name: "spec17-lbm-like",
+                class: WorkloadClass::SpecCpu2017,
+                mem_per_kilo_instr: 75,
+                working_set_bytes: 512 << 20,
+                sequential_fraction: 0.80,
+                read_fraction: 0.55,
+            },
+            WorkloadSpec {
+                name: "spec17-cam4-like",
+                class: WorkloadClass::SpecCpu2017,
+                mem_per_kilo_instr: 35,
+                working_set_bytes: 128 << 20,
+                sequential_fraction: 0.60,
+                read_fraction: 0.65,
+            },
+            WorkloadSpec {
+                name: "spec17-xz-like",
+                class: WorkloadClass::SpecCpu2017,
+                mem_per_kilo_instr: 22,
+                working_set_bytes: 96 << 20,
+                sequential_fraction: 0.40,
+                read_fraction: 0.72,
+            },
+            WorkloadSpec {
+                name: "tpc-c-like",
+                class: WorkloadClass::Tpc,
+                mem_per_kilo_instr: 45,
+                working_set_bytes: 384 << 20,
+                sequential_fraction: 0.15,
+                read_fraction: 0.60,
+            },
+            WorkloadSpec {
+                name: "tpc-h-like",
+                class: WorkloadClass::Tpc,
+                mem_per_kilo_instr: 60,
+                working_set_bytes: 512 << 20,
+                sequential_fraction: 0.45,
+                read_fraction: 0.85,
+            },
+            WorkloadSpec {
+                name: "mediabench-h264-like",
+                class: WorkloadClass::MediaBench,
+                mem_per_kilo_instr: 30,
+                working_set_bytes: 16 << 20,
+                sequential_fraction: 0.90,
+                read_fraction: 0.70,
+            },
+            WorkloadSpec {
+                name: "mediabench-jpeg-like",
+                class: WorkloadClass::MediaBench,
+                mem_per_kilo_instr: 40,
+                working_set_bytes: 8 << 20,
+                sequential_fraction: 0.92,
+                read_fraction: 0.65,
+            },
+            WorkloadSpec {
+                name: "ycsb-a-like",
+                class: WorkloadClass::Ycsb,
+                mem_per_kilo_instr: 50,
+                working_set_bytes: 768 << 20,
+                sequential_fraction: 0.10,
+                read_fraction: 0.50,
+            },
+            WorkloadSpec {
+                name: "ycsb-c-like",
+                class: WorkloadClass::Ycsb,
+                mem_per_kilo_instr: 48,
+                working_set_bytes: 768 << 20,
+                sequential_fraction: 0.10,
+                read_fraction: 0.95,
+            },
         ]
     }
 
@@ -194,8 +278,7 @@ impl TraceGenerator {
                 if self.rng.random::<f64>() < self.spec.sequential_fraction {
                     self.cursor = (self.cursor + 64) % self.spec.working_set_bytes;
                 } else {
-                    self.cursor =
-                        self.rng.random_range(0..self.spec.working_set_bytes / 64) * 64;
+                    self.cursor = self.rng.random_range(0..self.spec.working_set_bytes / 64) * 64;
                 }
                 self.base + self.cursor
             }
@@ -259,10 +342,8 @@ mod tests {
 
     #[test]
     fn catalogue_spans_five_suites() {
-        let classes: std::collections::BTreeSet<WorkloadClass> = WorkloadSpec::catalogue()
-            .iter()
-            .map(|w| w.class)
-            .collect();
+        let classes: std::collections::BTreeSet<WorkloadClass> =
+            WorkloadSpec::catalogue().iter().map(|w| w.class).collect();
         assert_eq!(classes.len(), 5);
         assert!(WorkloadSpec::catalogue().len() >= 10);
     }

@@ -60,12 +60,18 @@ impl Aqua {
 }
 
 impl MitigationHook for Aqua {
-    fn on_activation(&mut self, bank: BankId, row: usize, _cycle: u64) -> Vec<PreventiveAction> {
+    fn on_activation(
+        &mut self,
+        bank: BankId,
+        row: usize,
+        _cycle: u64,
+        out: &mut Vec<PreventiveAction>,
+    ) {
         let threshold = self.provider.victim_threshold(bank, row).max(2);
         let quarantine_at = ((threshold as f64 * QUARANTINE_FRACTION) as u64).max(1);
         let count = self.counters.record(bank, row);
         if count < quarantine_at {
-            return Vec::new();
+            return;
         }
         self.counters.reset(bank, row);
         let base = self.quarantine_base();
@@ -74,11 +80,11 @@ impl MitigationHook for Aqua {
         let destination = base + *slot;
         *slot = (*slot + 1) % region;
         self.migrations += 1;
-        vec![PreventiveAction::MigrateRow {
+        out.push(PreventiveAction::MigrateRow {
             bank,
             from_row: row,
             to_row: destination,
-        }]
+        });
     }
 
     fn on_refresh_tick(&mut self, _cycle: u64) {
@@ -113,11 +119,13 @@ mod tests {
         let mut aqua = Aqua::new(Arc::new(UniformThreshold::new(threshold)), 8192);
         let mut migrated_at = None;
         for i in 0..threshold {
-            let actions = aqua.on_activation(bank(), 42, i);
+            let actions = aqua.activation_actions(bank(), 42, i);
             if !actions.is_empty() {
                 migrated_at = Some(i);
                 match &actions[0] {
-                    PreventiveAction::MigrateRow { from_row, to_row, .. } => {
+                    PreventiveAction::MigrateRow {
+                        from_row, to_row, ..
+                    } => {
                         assert_eq!(*from_row, 42);
                         assert!(*to_row >= aqua.quarantine_base());
                     }
@@ -135,7 +143,7 @@ mod tests {
         let mut destinations = std::collections::BTreeSet::new();
         for row in 0..10usize {
             for i in 0..4u64 {
-                for a in aqua.on_activation(bank(), row, i) {
+                for a in aqua.activation_actions(bank(), row, i) {
                     if let PreventiveAction::MigrateRow { to_row, .. } = a {
                         destinations.insert(to_row);
                     }
@@ -170,10 +178,10 @@ mod tests {
         let mut weak_migrations = 0;
         let mut strong_migrations = 0;
         for i in 0..4096u64 {
-            if !aqua.on_activation(bank(), 1, i).is_empty() {
+            if !aqua.activation_actions(bank(), 1, i).is_empty() {
                 weak_migrations += 1;
             }
-            if !aqua.on_activation(bank(), 2, i).is_empty() {
+            if !aqua.activation_actions(bank(), 2, i).is_empty() {
                 strong_migrations += 1;
             }
         }

@@ -57,12 +57,18 @@ impl BlockHammer {
 }
 
 impl MitigationHook for BlockHammer {
-    fn on_activation(&mut self, bank: BankId, row: usize, cycle: u64) -> Vec<PreventiveAction> {
+    fn on_activation(
+        &mut self,
+        bank: BankId,
+        row: usize,
+        cycle: u64,
+        out: &mut Vec<PreventiveAction>,
+    ) {
         let estimate = u64::from(self.active_filter.insert(bank, row))
             .max(u64::from(self.aging_filter.estimate(bank, row)));
         let blacklist_at = self.blacklist_threshold(bank, row);
         if estimate < blacklist_at {
-            return Vec::new();
+            return;
         }
         // The row is blacklisted: spread its remaining activation budget over the
         // remainder of the refresh window by enforcing a minimum delay between its
@@ -72,11 +78,11 @@ impl MitigationHook for BlockHammer {
         let min_spacing = (CYCLES_PER_REFRESH_WINDOW / threshold).max(1);
         // Throttle harder the further past the blacklist threshold the row is.
         let overshoot = (estimate - blacklist_at + 1).min(64);
-        vec![PreventiveAction::ThrottleRow {
+        out.push(PreventiveAction::ThrottleRow {
             bank,
             row,
             until_cycle: cycle + min_spacing * overshoot,
-        }]
+        });
     }
 
     fn on_refresh_tick(&mut self, _cycle: u64) {
@@ -111,8 +117,11 @@ mod tests {
         // threshold of 1024.
         for round in 0..10 {
             for row in 0..2000 {
-                let actions = bh.on_activation(bank(), row, round * 1000);
-                assert!(actions.is_empty(), "row {row} throttled after {round} rounds");
+                let actions = bh.activation_actions(bank(), row, round * 1000);
+                assert!(
+                    actions.is_empty(),
+                    "row {row} throttled after {round} rounds"
+                );
             }
         }
         assert_eq!(bh.throttle_events(), 0);
@@ -124,7 +133,7 @@ mod tests {
         let mut bh = BlockHammer::new(Arc::new(UniformThreshold::new(threshold)));
         let mut first_throttle_at = None;
         for i in 0..threshold {
-            let actions = bh.on_activation(bank(), 7, i * 30);
+            let actions = bh.activation_actions(bank(), 7, i * 30);
             if !actions.is_empty() && first_throttle_at.is_none() {
                 first_throttle_at = Some(i);
             }
@@ -139,7 +148,7 @@ mod tests {
             let mut bh = BlockHammer::new(Arc::new(UniformThreshold::new(64)));
             let mut delay = 0;
             for i in 0..64 {
-                for a in bh.on_activation(bank(), 3, i) {
+                for a in bh.activation_actions(bank(), 3, i) {
                     if let PreventiveAction::ThrottleRow { until_cycle, .. } = a {
                         delay = delay.max(until_cycle - i);
                     }
@@ -151,7 +160,7 @@ mod tests {
             let mut bh = BlockHammer::new(Arc::new(UniformThreshold::new(64 * 1024)));
             let mut delay = 0;
             for i in 0..64 * 1024 {
-                for a in bh.on_activation(bank(), 3, i) {
+                for a in bh.activation_actions(bank(), 3, i) {
                     if let PreventiveAction::ThrottleRow { until_cycle, .. } = a {
                         delay = delay.max(until_cycle - i);
                     }
@@ -166,14 +175,14 @@ mod tests {
     fn filters_age_out_old_history() {
         let mut bh = BlockHammer::new(Arc::new(UniformThreshold::new(1024)));
         for i in 0..200u64 {
-            bh.on_activation(bank(), 9, i);
+            bh.activation_actions(bank(), 9, i);
         }
         // A full refresh window of ticks clears both filters.
         for _ in 0..REFRESH_TICKS_PER_WINDOW {
             bh.on_refresh_tick(0);
         }
         // The row starts from a clean slate: the next activation is not throttled.
-        let actions = bh.on_activation(bank(), 9, 1_000_000);
+        let actions = bh.activation_actions(bank(), 9, 1_000_000);
         assert!(actions.is_empty());
     }
 }

@@ -173,7 +173,10 @@ mod tests {
         }
         // A row inserted once should not look like a hot row.
         let overestimates = (0..1000).filter(|&r| f.estimate(bank(), r) > 5).count();
-        assert!(overestimates < 50, "{overestimates} rows grossly overestimated");
+        assert!(
+            overestimates < 50,
+            "{overestimates} rows grossly overestimated"
+        );
     }
 
     #[test]

@@ -96,7 +96,13 @@ impl Hydra {
 }
 
 impl MitigationHook for Hydra {
-    fn on_activation(&mut self, bank: BankId, row: usize, _cycle: u64) -> Vec<PreventiveAction> {
+    fn on_activation(
+        &mut self,
+        bank: BankId,
+        row: usize,
+        _cycle: u64,
+        out: &mut Vec<PreventiveAction>,
+    ) {
         let threshold = self.provider.victim_threshold(bank, row).max(2);
         let group_threshold = ((threshold as f64 * GROUP_FRACTION) as u64).max(1);
         let row_threshold = ((threshold as f64 * ROW_FRACTION) as u64).max(2);
@@ -106,40 +112,38 @@ impl MitigationHook for Hydra {
         if *group_count < group_threshold {
             // Group-tracking phase: a cheap SRAM counter, no DRAM traffic.
             *group_count += 1;
-            return Vec::new();
+            return;
         }
         let group_count = *group_count;
 
         // Per-row phase: consult the RCC; a miss costs DRAM counter traffic.
-        let mut actions = Vec::new();
         if !self.rcc_access(bank, row) {
-            actions.push(PreventiveAction::ExtraTraffic {
+            out.push(PreventiveAction::ExtraTraffic {
                 bank,
                 accesses: RCC_MISS_ACCESSES,
             });
         }
-        let count = self
-            .row_counts
-            .entry((bank, row))
-            .or_insert(group_count); // conservative initialization
+        let count = self.row_counts.entry((bank, row)).or_insert(group_count); // conservative initialization
         *count += 1;
         if *count >= row_threshold {
             *count = 0;
             self.preventive_refreshes += 2;
-            actions.push(PreventiveAction::RefreshRow {
+            out.push(PreventiveAction::RefreshRow {
                 bank,
                 row: row.saturating_sub(1),
             });
-            actions.push(PreventiveAction::RefreshRow { bank, row: row + 1 });
+            out.push(PreventiveAction::RefreshRow { bank, row: row + 1 });
         }
-        actions
     }
 
     fn on_refresh_tick(&mut self, _cycle: u64) {
         // Counters reset every refresh window; approximate by slow decay: the
         // periodic refresh restores victims, so clearing once per window suffices.
         self.use_stamp += 1;
-        if self.use_stamp % crate::common::REFRESH_TICKS_PER_WINDOW == 0 {
+        if self
+            .use_stamp
+            .is_multiple_of(crate::common::REFRESH_TICKS_PER_WINDOW)
+        {
             self.group_counts.clear();
             self.row_counts.clear();
         }
@@ -165,7 +169,7 @@ mod tests {
         let mut hydra = Hydra::new(Arc::new(UniformThreshold::new(4096)));
         // Group threshold = 512; stay below it.
         for i in 0..500u64 {
-            let actions = hydra.on_activation(bank(), (i % 64) as usize, i);
+            let actions = hydra.activation_actions(bank(), (i % 64) as usize, i);
             assert!(actions.is_empty());
         }
         assert_eq!(hydra.rcc_misses(), 0);
@@ -177,7 +181,7 @@ mod tests {
         let mut hydra = Hydra::new(Arc::new(UniformThreshold::new(threshold)));
         let mut refreshed_victims = false;
         for i in 0..threshold {
-            let actions = hydra.on_activation(bank(), 10, i);
+            let actions = hydra.activation_actions(bank(), 10, i);
             refreshed_victims |= actions
                 .iter()
                 .any(|a| matches!(a, PreventiveAction::RefreshRow { row, .. } if *row == 11 || *row == 9));
@@ -194,7 +198,7 @@ mod tests {
         let mut extra_traffic = 0u64;
         for round in 0..10u64 {
             for row in 0..(2 * RCC_ENTRIES) {
-                for a in hydra.on_activation(bank(), row, round) {
+                for a in hydra.activation_actions(bank(), row, round) {
                     if let PreventiveAction::ExtraTraffic { accesses, .. } = a {
                         extra_traffic += accesses as u64;
                     }
@@ -204,8 +208,7 @@ mod tests {
         assert!(hydra.rcc_misses() > RCC_ENTRIES as u64);
         assert!(extra_traffic > 0);
         // Hit rate should be poor under thrashing.
-        let hit_rate =
-            hydra.rcc_hits() as f64 / (hydra.rcc_hits() + hydra.rcc_misses()) as f64;
+        let hit_rate = hydra.rcc_hits() as f64 / (hydra.rcc_hits() + hydra.rcc_misses()) as f64;
         assert!(hit_rate < 0.6, "hit rate {hit_rate}");
     }
 
@@ -214,7 +217,7 @@ mod tests {
         let mut hydra = Hydra::new(Arc::new(UniformThreshold::new(64)));
         for round in 0..200u64 {
             for row in 0..32 {
-                hydra.on_activation(bank(), row, round);
+                hydra.activation_actions(bank(), row, round);
             }
         }
         let hit_rate =

@@ -109,7 +109,7 @@ mod tests {
             let mut defense = kind.build(provider, 4096, 1);
             assert!(!defense.name().is_empty());
             // A single activation never panics.
-            let _ = defense.on_activation(BankId::default(), 10, 100);
+            let _ = defense.activation_actions(BankId::default(), 10, 100);
         }
     }
 
@@ -128,7 +128,7 @@ mod tests {
         for round in 0..(threshold * 6) {
             let aggressor = aggressors[(round % 2) as usize];
             cycle += 30;
-            let actions = defense.on_activation(bank, aggressor, cycle);
+            let actions = defense.activation_actions(bank, aggressor, cycle);
             unprotected_activations += 1;
             let protected = actions.iter().any(|a| match a {
                 PreventiveAction::RefreshRow { row, .. } => *row == victim,

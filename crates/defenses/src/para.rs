@@ -52,19 +52,21 @@ impl Para {
 }
 
 impl MitigationHook for Para {
-    fn on_activation(&mut self, bank: BankId, row: usize, _cycle: u64) -> Vec<PreventiveAction> {
+    fn on_activation(
+        &mut self,
+        bank: BankId,
+        row: usize,
+        _cycle: u64,
+        out: &mut Vec<PreventiveAction>,
+    ) {
         let p = self.refresh_probability(bank, row);
         if self.rng.random::<f64>() < p {
             self.preventive_refreshes += 2;
-            vec![
-                PreventiveAction::RefreshRow {
-                    bank,
-                    row: row.saturating_sub(1),
-                },
-                PreventiveAction::RefreshRow { bank, row: row + 1 },
-            ]
-        } else {
-            Vec::new()
+            out.push(PreventiveAction::RefreshRow {
+                bank,
+                row: row.saturating_sub(1),
+            });
+            out.push(PreventiveAction::RefreshRow { bank, row: row + 1 });
         }
     }
 
@@ -95,20 +97,23 @@ mod tests {
         let n = 200_000;
         let mut refresh_events = 0;
         for i in 0..n {
-            if !para.on_activation(b, i % 512, 0).is_empty() {
+            if !para.activation_actions(b, i % 512, 0).is_empty() {
                 refresh_events += 1;
             }
         }
         let rate = refresh_events as f64 / n as f64;
         let expected = SAFETY_FACTOR / 1000.0;
-        assert!((rate - expected).abs() < expected * 0.15, "rate {rate} vs {expected}");
+        assert!(
+            (rate - expected).abs() < expected * 0.15,
+            "rate {rate} vs {expected}"
+        );
     }
 
     /// A provider that marks even rows weak and odd rows strong.
     struct EvenWeak;
     impl ThresholdProvider for EvenWeak {
         fn victim_threshold(&self, _bank: BankId, row: usize) -> u64 {
-            if row % 2 == 0 {
+            if row.is_multiple_of(2) {
                 128
             } else {
                 64 * 1024
@@ -130,7 +135,7 @@ mod tests {
         let mut strong_refreshes = 0;
         for i in 0..100_000 {
             let row = i % 1000;
-            let refreshed = !para.on_activation(b, row, 0).is_empty();
+            let refreshed = !para.activation_actions(b, row, 0).is_empty();
             if refreshed {
                 if row % 2 == 0 {
                     weak_refreshes += 1;
@@ -149,7 +154,7 @@ mod tests {
     fn refreshes_target_both_neighbours() {
         // With threshold 2 the probability is 1.0: every activation refreshes.
         let mut para = Para::new(Arc::new(UniformThreshold::new(2)), 5);
-        let actions = para.on_activation(BankId::default(), 50, 0);
+        let actions = para.activation_actions(BankId::default(), 50, 0);
         assert_eq!(actions.len(), 2);
         let rows: Vec<usize> = actions
             .iter()

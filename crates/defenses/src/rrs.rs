@@ -91,13 +91,19 @@ impl Rrs {
 }
 
 impl MitigationHook for Rrs {
-    fn on_activation(&mut self, bank: BankId, row: usize, _cycle: u64) -> Vec<PreventiveAction> {
+    fn on_activation(
+        &mut self,
+        bank: BankId,
+        row: usize,
+        _cycle: u64,
+        out: &mut Vec<PreventiveAction>,
+    ) {
         let threshold = self.provider.victim_threshold(bank, row).max(2);
         let swap_at = ((threshold as f64 * SWAP_FRACTION) as u64).max(1);
         let tracker = self.trackers.entry(bank).or_default();
         let count = tracker.record(row);
         if count < swap_at {
-            return Vec::new();
+            return;
         }
         tracker.reset(row);
         // Swap with a uniformly random row of the same bank (excluding itself).
@@ -106,11 +112,11 @@ impl MitigationHook for Rrs {
             partner = (partner + 1) % self.rows_per_bank;
         }
         self.swaps += 1;
-        vec![PreventiveAction::SwapRows {
+        out.push(PreventiveAction::SwapRows {
             bank,
             row_a: row,
             row_b: partner,
-        }]
+        });
     }
 
     fn on_refresh_tick(&mut self, _cycle: u64) {
@@ -144,7 +150,7 @@ mod tests {
         let mut rrs = Rrs::new(Arc::new(UniformThreshold::new(threshold)), 8192, 3);
         let mut swapped_at = None;
         for i in 0..threshold {
-            let actions = rrs.on_activation(bank(), 77, i);
+            let actions = rrs.activation_actions(bank(), 77, i);
             if let Some(PreventiveAction::SwapRows { row_a, row_b, .. }) = actions.first() {
                 assert_eq!(*row_a, 77);
                 assert_ne!(*row_b, 77);
@@ -161,13 +167,17 @@ mod tests {
         let mut rrs = Rrs::new(Arc::new(UniformThreshold::new(16)), 64 * 1024, 9);
         let mut partners = std::collections::BTreeSet::new();
         for i in 0..2000u64 {
-            for a in rrs.on_activation(bank(), 5, i) {
+            for a in rrs.activation_actions(bank(), 5, i) {
                 if let PreventiveAction::SwapRows { row_b, .. } = a {
                     partners.insert(row_b);
                 }
             }
         }
-        assert!(partners.len() > 50, "only {} distinct partners", partners.len());
+        assert!(
+            partners.len() > 50,
+            "only {} distinct partners",
+            partners.len()
+        );
     }
 
     #[test]
@@ -175,7 +185,7 @@ mod tests {
         let mut rrs = Rrs::new(Arc::new(UniformThreshold::new(4096)), 8192, 5);
         for round in 0..20u64 {
             for row in 0..4000 {
-                assert!(rrs.on_activation(bank(), row, round).is_empty());
+                assert!(rrs.activation_actions(bank(), row, round).is_empty());
             }
         }
         assert_eq!(rrs.swaps(), 0);
@@ -186,7 +196,7 @@ mod tests {
         let run = |threshold: u64| -> u64 {
             let mut rrs = Rrs::new(Arc::new(UniformThreshold::new(threshold)), 8192, 11);
             for i in 0..50_000u64 {
-                rrs.on_activation(bank(), (i % 4) as usize, i);
+                rrs.activation_actions(bank(), (i % 4) as usize, i);
             }
             rrs.swaps()
         };

@@ -19,9 +19,10 @@ use crate::geometry::DramGeometry;
 /// All schemes are involutions or at least bijections on `[0, rows_per_bank)`; the
 /// inverse is provided so the test harness can compute which *logical* addresses to
 /// activate in order to hammer the physical neighbours of a victim.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RowScramble {
     /// Physical row = logical row. Used by some vendors and by scaled-down tests.
+    #[default]
     Identity,
     /// The classic "3-bit swizzle" seen in several DDR3/DDR4 designs:
     /// within each block of 8 rows, rows are reordered by XORing bit 1 and bit 2
@@ -85,14 +86,8 @@ impl RowScramble {
     }
 }
 
-impl Default for RowScramble {
-    fn default() -> Self {
-        RowScramble::Identity
-    }
-}
-
 /// Physical-address-to-DRAM-address interleaving used by the memory controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AddressMapper {
     /// Row : Rank : BankGroup : Bank : Column : Channel : CacheLine — a simple
     /// row-interleaved baseline.
@@ -101,6 +96,7 @@ pub enum AddressMapper {
     /// consecutive cache lines map to a small number of columns in the same row, then
     /// interleave across banks/bank groups/ranks, maximizing bank-level parallelism
     /// while preserving some row-buffer locality.
+    #[default]
     Mop,
 }
 
@@ -171,12 +167,6 @@ impl AddressMapper {
                 }
             }
         }
-    }
-}
-
-impl Default for AddressMapper {
-    fn default() -> Self {
-        AddressMapper::Mop
     }
 }
 

@@ -63,9 +63,17 @@ pub enum PreventiveAction {
 /// Implementations live in `svard-defenses`; [`NoMitigation`] is the paper's
 /// baseline configuration with no defense at all.
 pub trait MitigationHook {
-    /// Called for every row activation the controller issues. Returns the preventive
-    /// actions the controller must execute.
-    fn on_activation(&mut self, bank: BankId, row: usize, cycle: u64) -> Vec<PreventiveAction>;
+    /// Called for every row activation the controller issues. Pushes the preventive
+    /// actions the controller must execute into `out`, a scratch buffer the
+    /// controller reuses across activations — so the common "no action" case
+    /// performs zero heap allocations on the simulation hot path.
+    fn on_activation(
+        &mut self,
+        bank: BankId,
+        row: usize,
+        cycle: u64,
+        out: &mut Vec<PreventiveAction>,
+    );
 
     /// Called once per refresh interval (tREFI), letting periodic mechanisms reset
     /// epoch state.
@@ -73,6 +81,19 @@ pub trait MitigationHook {
 
     /// Human-readable name used in experiment output.
     fn name(&self) -> &str;
+
+    /// Convenience wrapper that collects the actions of one activation into a fresh
+    /// vector. Intended for tests and experiments, not for the simulation hot path.
+    fn activation_actions(
+        &mut self,
+        bank: BankId,
+        row: usize,
+        cycle: u64,
+    ) -> Vec<PreventiveAction> {
+        let mut out = Vec::new();
+        self.on_activation(bank, row, cycle, &mut out);
+        out
+    }
 }
 
 /// The no-defense baseline: never requests any preventive action.
@@ -80,8 +101,13 @@ pub trait MitigationHook {
 pub struct NoMitigation;
 
 impl MitigationHook for NoMitigation {
-    fn on_activation(&mut self, _bank: BankId, _row: usize, _cycle: u64) -> Vec<PreventiveAction> {
-        Vec::new()
+    fn on_activation(
+        &mut self,
+        _bank: BankId,
+        _row: usize,
+        _cycle: u64,
+        _out: &mut Vec<PreventiveAction>,
+    ) {
     }
 
     fn name(&self) -> &str {
@@ -96,7 +122,7 @@ mod tests {
     #[test]
     fn no_mitigation_is_free() {
         let mut m = NoMitigation;
-        assert!(m.on_activation(BankId::default(), 5, 100).is_empty());
+        assert!(m.activation_actions(BankId::default(), 5, 100).is_empty());
         assert_eq!(m.name(), "baseline");
     }
 }

@@ -31,10 +31,16 @@ impl BankTiming {
 }
 
 /// Rank-level activation bookkeeping: tRRD spacing and the four-activate window.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// The activation history is a fixed four-entry ring (tFAW only ever looks four
+/// activations back), so recording an activation is allocation-free.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RankTiming {
-    /// Cycles of the most recent activations (up to 4 kept, for tFAW).
-    recent_acts: Vec<u64>,
+    /// Cycles of the most recent activations (ring buffer of the last 4, for tFAW).
+    recent_acts: [u64; 4],
+    /// Number of activations recorded so far (saturating at large values is fine;
+    /// only `min(count, 4)` entries of the ring are meaningful).
+    act_count: u64,
     /// Cycle at which the rank finishes its current refresh, if any.
     pub refresh_busy_until: u64,
 }
@@ -43,28 +49,38 @@ impl RankTiming {
     /// Earliest cycle at which a new activation may be issued to this rank, given
     /// tRRD (approximated with the same-bank-group value) and tFAW.
     pub fn next_act_allowed(&self, timing: &TimingParams) -> u64 {
+        self.next_act_allowed_cycles(timing.t_rrd_l(), timing.t_faw())
+    }
+
+    /// [`next_act_allowed`](Self::next_act_allowed) with pre-converted cycle
+    /// counts, so the scheduler hot path pays no ps→cycle divisions.
+    pub fn next_act_allowed_cycles(&self, t_rrd_l: u64, t_faw: u64) -> u64 {
         let mut earliest = self.refresh_busy_until;
-        if let Some(&last) = self.recent_acts.last() {
-            earliest = earliest.max(last + timing.t_rrd_l());
+        if self.act_count > 0 {
+            let last = self.recent_acts[((self.act_count - 1) % 4) as usize];
+            earliest = earliest.max(last + t_rrd_l);
         }
-        if self.recent_acts.len() >= 4 {
-            let fourth_last = self.recent_acts[self.recent_acts.len() - 4];
-            earliest = earliest.max(fourth_last + timing.t_faw());
+        if self.act_count >= 4 {
+            let fourth_last = self.recent_acts[(self.act_count % 4) as usize];
+            earliest = earliest.max(fourth_last + t_faw);
         }
         earliest
     }
 
     /// Record an activation at `cycle`.
     pub fn record_act(&mut self, cycle: u64) {
-        self.recent_acts.push(cycle);
-        if self.recent_acts.len() > 4 {
-            self.recent_acts.remove(0);
-        }
+        self.recent_acts[(self.act_count % 4) as usize] = cycle;
+        self.act_count += 1;
     }
 
     /// Begin a refresh at `cycle`, blocking the rank for tRFC.
     pub fn begin_refresh(&mut self, cycle: u64, timing: &TimingParams) {
-        self.refresh_busy_until = self.refresh_busy_until.max(cycle + timing.t_rfc());
+        self.begin_refresh_cycles(cycle, timing.t_rfc());
+    }
+
+    /// [`begin_refresh`](Self::begin_refresh) with a pre-converted tRFC.
+    pub fn begin_refresh_cycles(&mut self, cycle: u64, t_rfc: u64) {
+        self.refresh_busy_until = self.refresh_busy_until.max(cycle + t_rfc);
     }
 }
 

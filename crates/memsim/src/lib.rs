@@ -16,6 +16,18 @@
 //! Fig. 12 comparison (row hits vs. misses vs. conflicts, refresh interference,
 //! preventive-action overhead) without modelling every DDR4 sub-command.
 //!
+//! # Performance
+//!
+//! The controller is event-driven on top of its per-cycle semantics:
+//! [`MemorySystem::next_event_cycle`] predicts the next cycle at which anything
+//! can happen, and [`MemorySystem::tick_until`] / [`MemorySystem::run_until_idle`]
+//! skip the dead cycles in between while keeping completions and statistics
+//! *cycle-identical* to per-cycle ticking (asserted by the
+//! `fastforward_equivalence` test suite). The hot paths are allocation-free:
+//! requests cache their flat bank/rank indices at enqueue, timing parameters are
+//! pre-converted to cycles, preventive actions go through a reused scratch
+//! buffer, and fruitless scheduler scans are memoized between state changes.
+//!
 //! # Example
 //!
 //! ```
@@ -40,5 +52,5 @@ pub mod stats;
 pub use actions::{MitigationHook, NoMitigation, PreventiveAction};
 pub use config::MemoryConfig;
 pub use controller::MemorySystem;
-pub use request::{MemoryRequest, RequestKind};
+pub use request::{CompletedRequest, MemoryRequest, RequestKind};
 pub use stats::MemStats;

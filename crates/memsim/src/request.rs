@@ -18,6 +18,11 @@ pub struct MemoryRequest {
     pub arrival_cycle: u64,
     /// DRAM coordinates (set by the controller using its address mapper).
     pub dram_addr: DramAddress,
+    /// Flat bank index of `dram_addr`, cached by the controller at enqueue time so
+    /// the scheduler never re-derives it on the per-cycle hot path.
+    pub flat_bank: usize,
+    /// Flat rank index of `dram_addr`, cached by the controller at enqueue time.
+    pub rank_idx: usize,
 }
 
 impl MemoryRequest {
@@ -30,6 +35,8 @@ impl MemoryRequest {
             core,
             arrival_cycle: 0,
             dram_addr: DramAddress::default(),
+            flat_bank: 0,
+            rank_idx: 0,
         }
     }
 

@@ -1,0 +1,279 @@
+//! Property-style equivalence tests: the event-driven fast path
+//! (`tick_until` / `run_until_idle`) must produce *cycle-identical* completions
+//! and statistics versus per-cycle `tick` loops, across random request streams,
+//! refresh boundaries, write drains and every preventive-action type.
+
+use svard_dram::address::BankId;
+use svard_memsim::{
+    CompletedRequest, MemoryConfig, MemoryRequest, MemorySystem, MitigationHook, PreventiveAction,
+};
+
+/// Tiny deterministic PRNG (xorshift64*), so the streams are reproducible
+/// without external dependencies.
+struct Prng(u64);
+
+impl Prng {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A deterministic schedule of enqueue attempts: (cycle, request).
+fn random_schedule(seed: u64, requests: usize, spread_cycles: u64) -> Vec<(u64, MemoryRequest)> {
+    let mut rng = Prng::new(seed);
+    let mut schedule: Vec<(u64, MemoryRequest)> = (0..requests)
+        .map(|i| {
+            let cycle = rng.below(spread_cycles);
+            let addr = rng.below(1 << 30) & !63;
+            let req = if rng.below(4) == 0 {
+                MemoryRequest::write(i as u64, addr, i % 4)
+            } else {
+                MemoryRequest::read(i as u64, addr, i % 4)
+            };
+            (cycle, req)
+        })
+        .collect();
+    schedule.sort_by_key(|(cycle, req)| (*cycle, req.id));
+    schedule
+}
+
+/// Drive `mem` through the schedule per-cycle, retrying rejected requests every
+/// cycle until accepted, then drain. Returns completions in delivery order.
+fn run_percycle(
+    mem: &mut MemorySystem,
+    schedule: &[(u64, MemoryRequest)],
+    drain_cycles: u64,
+) -> Vec<CompletedRequest> {
+    let mut out = Vec::new();
+    let mut pending: std::collections::VecDeque<MemoryRequest> = Default::default();
+    let mut next = 0;
+    while next < schedule.len() || !pending.is_empty() {
+        while next < schedule.len() && schedule[next].0 <= mem.cycle() {
+            pending.push_back(schedule[next].1.clone());
+            next += 1;
+        }
+        while let Some(req) = pending.pop_front() {
+            if let Err(req) = mem.enqueue(req) {
+                pending.push_front(req);
+                break;
+            }
+        }
+        out.extend(mem.tick());
+    }
+    for _ in 0..drain_cycles {
+        out.extend(mem.tick());
+        if mem.outstanding() == 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// The same schedule driven through the event-driven API: fast-forward between
+/// arrival cycles with `tick_until`, finish with `run_until_idle`.
+fn run_fastforward(
+    mem: &mut MemorySystem,
+    schedule: &[(u64, MemoryRequest)],
+    drain_cycles: u64,
+) -> Vec<CompletedRequest> {
+    let mut out = Vec::new();
+    let mut pending: std::collections::VecDeque<MemoryRequest> = Default::default();
+    let mut next = 0;
+    while next < schedule.len() || !pending.is_empty() {
+        while next < schedule.len() && schedule[next].0 <= mem.cycle() {
+            pending.push_back(schedule[next].1.clone());
+            next += 1;
+        }
+        while let Some(req) = pending.pop_front() {
+            if let Err(req) = mem.enqueue(req) {
+                pending.push_front(req);
+                break;
+            }
+        }
+        if pending.is_empty() && next < schedule.len() {
+            // Nothing blocked on queue space: jump to the next arrival (or an
+            // earlier internal event; tick_until handles both identically).
+            mem.tick_until(schedule[next].0.max(mem.cycle() + 1), &mut out);
+        } else {
+            mem.tick_into(&mut out);
+        }
+    }
+    out.extend(mem.run_until_idle(drain_cycles));
+    out
+}
+
+fn assert_equivalent(build: impl Fn() -> MemorySystem, seed: u64, requests: usize, spread: u64) {
+    let schedule = random_schedule(seed, requests, spread);
+    let mut slow = build();
+    let mut fast = build();
+    let slow_done = run_percycle(&mut slow, &schedule, 2_000_000);
+    let fast_done = run_fastforward(&mut fast, &schedule, 2_000_000);
+    assert_eq!(
+        slow_done, fast_done,
+        "completion streams diverged (seed {seed})"
+    );
+    assert_eq!(
+        slow.stats(),
+        fast.stats(),
+        "statistics diverged (seed {seed})"
+    );
+    assert_eq!(
+        slow.cycle(),
+        fast.cycle(),
+        "cycle counters diverged (seed {seed})"
+    );
+}
+
+#[test]
+fn random_streams_match_per_cycle_ticking() {
+    for seed in 0..8 {
+        assert_equivalent(
+            || MemorySystem::new(MemoryConfig::small(2048)),
+            seed,
+            300,
+            5_000,
+        );
+    }
+}
+
+#[test]
+fn streams_across_refresh_boundaries_match() {
+    // Spread arrivals over several tREFI windows so fast-forwarding has to stop
+    // at refresh events.
+    let refi = MemoryConfig::small(2048).timing.t_refi();
+    for seed in 0..4 {
+        assert_equivalent(
+            || MemorySystem::new(MemoryConfig::small(2048)),
+            100 + seed,
+            200,
+            refi * 4,
+        );
+    }
+}
+
+#[test]
+fn write_heavy_streams_exercise_drain_hysteresis() {
+    // Many same-cycle arrivals force the write queue through its high/low
+    // watermarks, covering the drain-mode selection in event prediction.
+    for seed in 0..4 {
+        let schedule: Vec<(u64, MemoryRequest)> = {
+            let mut rng = Prng::new(900 + seed);
+            (0..400usize)
+                .map(|i| {
+                    let addr = rng.below(1 << 28) & !63;
+                    let req = if rng.below(3) > 0 {
+                        MemoryRequest::write(i as u64, addr, 0)
+                    } else {
+                        MemoryRequest::read(i as u64, addr, 0)
+                    };
+                    (rng.below(300), req)
+                })
+                .collect()
+        };
+        let mut schedule = schedule;
+        schedule.sort_by_key(|(cycle, req)| (*cycle, req.id));
+        let mut slow = MemorySystem::new(MemoryConfig::small(2048));
+        let mut fast = MemorySystem::new(MemoryConfig::small(2048));
+        let slow_done = run_percycle(&mut slow, &schedule, 2_000_000);
+        let fast_done = run_fastforward(&mut fast, &schedule, 2_000_000);
+        assert_eq!(slow_done, fast_done);
+        assert_eq!(slow.stats(), fast.stats());
+    }
+}
+
+/// A deterministic mitigation that cycles through every preventive-action type,
+/// including cross-bank and cross-rank targets and long throttle windows.
+struct EveryAction {
+    calls: u64,
+}
+
+impl MitigationHook for EveryAction {
+    fn on_activation(
+        &mut self,
+        bank: BankId,
+        row: usize,
+        cycle: u64,
+        out: &mut Vec<PreventiveAction>,
+    ) {
+        self.calls += 1;
+        let other_rank = BankId {
+            rank: 1 - (bank.rank % 2),
+            ..bank
+        };
+        match self.calls % 6 {
+            0 => out.push(PreventiveAction::RefreshRow {
+                bank,
+                row: row.saturating_sub(1),
+            }),
+            1 => out.push(PreventiveAction::RefreshRow {
+                bank: other_rank,
+                row: row + 1,
+            }),
+            2 => out.push(PreventiveAction::ThrottleRow {
+                bank,
+                row,
+                until_cycle: cycle + 400 + (self.calls % 7) * 100,
+            }),
+            3 => out.push(PreventiveAction::MigrateRow {
+                bank,
+                from_row: row,
+                to_row: row + 2,
+            }),
+            4 => out.push(PreventiveAction::SwapRows {
+                bank,
+                row_a: row,
+                row_b: row + 3,
+            }),
+            _ => out.push(PreventiveAction::ExtraTraffic { bank, accesses: 4 }),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "every-action"
+    }
+}
+
+#[test]
+fn streams_with_every_preventive_action_match() {
+    for seed in 0..6 {
+        assert_equivalent(
+            || {
+                MemorySystem::with_mitigation(
+                    MemoryConfig::small(2048),
+                    Box::new(EveryAction { calls: 0 }),
+                )
+            },
+            200 + seed,
+            250,
+            4_000,
+        );
+    }
+}
+
+#[test]
+fn idle_fast_forward_preserves_refresh_statistics() {
+    let refi = MemoryConfig::small(1024).timing.t_refi();
+    let mut slow = MemorySystem::new(MemoryConfig::small(1024));
+    let mut fast = MemorySystem::new(MemoryConfig::small(1024));
+    for _ in 0..(refi * 5 + 3) {
+        slow.tick();
+    }
+    let mut out = Vec::new();
+    fast.tick_until(refi * 5 + 3, &mut out);
+    assert!(out.is_empty());
+    assert_eq!(slow.stats(), fast.stats());
+    assert_eq!(slow.cycle(), fast.cycle());
+}

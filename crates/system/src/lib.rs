@@ -10,8 +10,16 @@
 //! budget so that the full Fig. 12 sweep finishes in minutes rather than the
 //! CPU-years a 200M-instruction × 120-mix campaign would need (see `DESIGN.md`).
 
+//! # Performance
+//!
+//! The runner fast-forwards over stall windows (see [`runner`]) and the
+//! [`EvaluationHarness`] fans simulations out across OS threads with
+//! deterministic per-point seeding, so sweeps scale with core count while
+//! producing bit-identical results to a serial, per-cycle run.
+
 pub mod config;
+pub mod parallel;
 pub mod runner;
 
 pub use config::SystemConfig;
-pub use runner::{EvaluationHarness, EvaluationPoint, RunResult};
+pub use runner::{EvaluationHarness, EvaluationPoint, RunResult, SimMode, SweepPoint};

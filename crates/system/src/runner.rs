@@ -1,13 +1,41 @@
 //! Running multiprogrammed mixes and collecting Fig. 12-style data points.
+//!
+//! # Fast-forwarding and parallel sweeps
+//!
+//! [`run_mix`] drives every core and the memory controller cycle by cycle, but
+//! fast-forwards over *stall windows*: whenever no core can make progress until
+//! the memory system's next event (completion, scheduling opportunity or
+//! refresh), the loop jumps straight to that event, with core cycle counters and
+//! memory statistics advanced exactly as per-cycle ticking would have.
+//! [`run_mix_percycle`] keeps the strictly per-cycle reference semantics; the
+//! equivalence tests assert both produce identical results.
+//!
+//! [`EvaluationHarness`] fans its simulations out across OS threads. Every
+//! simulation derives its seeds from the configuration alone (workload traces
+//! from `config.seed`, defenses from `config.seed ^ hc_first`), so results are
+//! deterministic and independent of thread count and scheduling.
 
 use svard_cpusim::metrics::SystemMetrics;
 use svard_cpusim::workload::{WorkloadMix, WorkloadSpec};
 use svard_cpusim::SimpleCore;
 use svard_defenses::provider::SharedThresholdProvider;
 use svard_defenses::DefenseKind;
-use svard_memsim::{MemStats, MemorySystem, MitigationHook, NoMitigation};
+use svard_memsim::{CompletedRequest, MemStats, MemorySystem, MitigationHook, NoMitigation};
 
 use crate::config::SystemConfig;
+use crate::parallel;
+
+/// How the simulation loop advances time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimMode {
+    /// Skip stall windows in O(1) per event (the default; results are identical
+    /// to [`SimMode::PerCycle`]).
+    #[default]
+    FastForward,
+    /// Tick every single cycle. Reference semantics for equivalence tests and
+    /// speedup measurements.
+    PerCycle,
+}
 
 /// Result of simulating one mix on one configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,11 +69,43 @@ pub struct EvaluationPoint {
     pub normalized: SystemMetrics,
 }
 
-/// Simulate one workload mix on one memory-system configuration.
+/// One configuration to simulate in a sweep: a defense under a threshold
+/// provider at a scaled worst-case `HC_first`.
+#[derive(Clone)]
+pub struct SweepPoint {
+    /// Defense to evaluate.
+    pub defense: DefenseKind,
+    /// Threshold provider the defense consults.
+    pub provider: SharedThresholdProvider,
+    /// Scaled worst-case `HC_first` (also salts the defense's RNG seed).
+    pub hc_first: u64,
+}
+
+/// Simulate one workload mix on one memory-system configuration, fast-forwarding
+/// over stall windows.
 pub fn run_mix(
     mix: &WorkloadMix,
     config: &SystemConfig,
     mitigation: Box<dyn MitigationHook>,
+) -> RunResult {
+    run_mix_with_mode(mix, config, mitigation, SimMode::FastForward)
+}
+
+/// [`run_mix`] with strictly per-cycle semantics (reference implementation).
+pub fn run_mix_percycle(
+    mix: &WorkloadMix,
+    config: &SystemConfig,
+    mitigation: Box<dyn MitigationHook>,
+) -> RunResult {
+    run_mix_with_mode(mix, config, mitigation, SimMode::PerCycle)
+}
+
+/// Simulate one workload mix with an explicit [`SimMode`].
+pub fn run_mix_with_mode(
+    mix: &WorkloadMix,
+    config: &SystemConfig,
+    mitigation: Box<dyn MitigationHook>,
+    mode: SimMode,
 ) -> RunResult {
     let mut memory = MemorySystem::with_mitigation(config.memory.clone(), mitigation);
     let mut cores: Vec<SimpleCore> = mix
@@ -54,20 +114,69 @@ pub fn run_mix(
         .take(config.cores)
         .enumerate()
         .map(|(id, spec)| {
-            SimpleCore::new(id, spec, config.core, config.instructions_per_core, config.seed)
+            SimpleCore::new(
+                id,
+                spec,
+                config.core,
+                config.instructions_per_core,
+                config.seed,
+            )
         })
         .collect();
     let mut cycles = 0u64;
+    let mut completions: Vec<CompletedRequest> = Vec::new();
     while cycles < config.max_cycles && cores.iter().any(|c| !c.finished()) {
+        let mut any_core_progress = false;
         for core in &mut cores {
-            core.tick(&mut memory);
+            any_core_progress |= core.tick(&mut memory);
         }
-        for done in memory.tick() {
+        // One issue increments exactly one of activations/row_hits; together with
+        // refreshes this detects any scheduling or refresh activity of the tick.
+        let sched_before = {
+            let s = memory.stats();
+            s.activations + s.row_hits + s.refreshes
+        };
+        completions.clear();
+        memory.tick_into(&mut completions);
+        for done in &completions {
             if let Some(core) = cores.get_mut(done.core) {
                 core.on_completion(done.id);
             }
         }
         cycles += 1;
+
+        // Fast-forward: if neither the cores nor the memory system did anything
+        // this cycle, the whole system is stalled and its state is frozen until
+        // the memory system's next event — jump to the cycle just before it. The
+        // skipped cycles are no-ops for cores and memory alike, so statistics
+        // stay cycle-identical (see the equivalence tests).
+        if mode == SimMode::FastForward && !any_core_progress && completions.is_empty() {
+            let sched_after = {
+                let s = memory.stats();
+                s.activations + s.row_hits + s.refreshes
+            };
+            // If the memory system was also quiet, the system state is unchanged
+            // and every core is still stalled — no further check needed. If the
+            // memory did schedule something (e.g. freed a queue slot), fall back
+            // to asking each core whether the new state unblocks it.
+            let all_stalled = sched_after == sched_before
+                || cores
+                    .iter()
+                    .all(|c| c.next_ready_cycle(cycles, &memory).is_none());
+            if all_stalled && cores.iter().any(|c| !c.finished()) {
+                if let Some(next_event) = memory.next_event_cycle() {
+                    let target = (next_event - 1).min(config.max_cycles);
+                    if target > memory.cycle() {
+                        let skip = target - memory.cycle();
+                        memory.skip_to_cycle(target);
+                        for core in &mut cores {
+                            core.skip_stalled_cycles(skip);
+                        }
+                        cycles += skip;
+                    }
+                }
+            }
+        }
     }
     RunResult {
         per_core_ipc: cores.iter().map(|c| c.ipc()).collect(),
@@ -79,6 +188,10 @@ pub fn run_mix(
 /// Simulate one workload running alone on one core of the baseline system (the
 /// `IPC_alone` reference for the multiprogrammed metrics).
 pub fn run_alone(spec: &WorkloadSpec, config: &SystemConfig) -> f64 {
+    run_alone_with_mode(spec, config, SimMode::FastForward)
+}
+
+fn run_alone_with_mode(spec: &WorkloadSpec, config: &SystemConfig, mode: SimMode) -> f64 {
     let mix = WorkloadMix {
         id: 0,
         workloads: vec![spec.clone()],
@@ -87,46 +200,86 @@ pub fn run_alone(spec: &WorkloadSpec, config: &SystemConfig) -> f64 {
         cores: 1,
         ..config.clone()
     };
-    run_mix(&mix, &single, Box::new(NoMitigation)).per_core_ipc[0]
+    run_mix_with_mode(&mix, &single, Box::new(NoMitigation), mode).per_core_ipc[0]
 }
 
 /// Evaluation harness that caches the per-mix alone-IPC vectors and baseline
 /// metrics, so that each defense configuration only costs one extra simulation per
-/// mix.
+/// mix — and fans those simulations out across OS threads.
 pub struct EvaluationHarness {
     config: SystemConfig,
     mixes: Vec<WorkloadMix>,
     alone_ipc: Vec<Vec<f64>>,
     baseline: Vec<SystemMetrics>,
+    threads: usize,
+    mode: SimMode,
 }
 
 impl EvaluationHarness {
     /// Prepare the harness: runs each workload alone and each mix on the
-    /// no-defense baseline.
+    /// no-defense baseline, in parallel across all available cores.
     pub fn new(config: SystemConfig, mixes: Vec<WorkloadMix>) -> Self {
-        let alone_ipc: Vec<Vec<f64>> = mixes
+        Self::with_threads_and_mode(
+            config,
+            mixes,
+            parallel::default_threads(),
+            SimMode::default(),
+        )
+    }
+
+    /// [`new`](Self::new) with an explicit worker-thread count and simulation
+    /// mode (used by benchmarks and equivalence tests).
+    pub fn with_threads_and_mode(
+        config: SystemConfig,
+        mixes: Vec<WorkloadMix>,
+        threads: usize,
+        mode: SimMode,
+    ) -> Self {
+        // Alone runs: the alone IPC depends only on the workload spec (the run is
+        // single-core with a fixed seed), so simulate each distinct spec once and
+        // share the result across every mix slot that uses it.
+        let slots: Vec<(usize, &WorkloadSpec)> = mixes
             .iter()
-            .map(|mix| {
+            .enumerate()
+            .flat_map(|(m, mix)| {
                 mix.workloads
                     .iter()
                     .take(config.cores)
-                    .map(|spec| run_alone(spec, &config))
-                    .collect()
+                    .map(move |spec| (m, spec))
             })
             .collect();
-        let baseline: Vec<SystemMetrics> = mixes
+        let mut unique_specs: Vec<&WorkloadSpec> = Vec::new();
+        let spec_index: Vec<usize> = slots
             .iter()
-            .zip(&alone_ipc)
-            .map(|(mix, alone)| {
-                let run = run_mix(mix, &config, Box::new(NoMitigation));
-                SystemMetrics::compute(alone, &run.per_core_ipc)
+            .map(|&(_, spec)| {
+                unique_specs
+                    .iter()
+                    .position(|&u| u == spec)
+                    .unwrap_or_else(|| {
+                        unique_specs.push(spec);
+                        unique_specs.len() - 1
+                    })
             })
             .collect();
+        let unique_ipc = parallel::par_map(&unique_specs, threads, |_, &spec| {
+            run_alone_with_mode(spec, &config, mode)
+        });
+        let mut alone_ipc: Vec<Vec<f64>> = vec![Vec::new(); mixes.len()];
+        for (&(m, _), &u) in slots.iter().zip(&spec_index) {
+            alone_ipc[m].push(unique_ipc[u]);
+        }
+        // Baseline (no defense) runs: one task per mix.
+        let baseline = parallel::par_map(&mixes, threads, |m, mix| {
+            let run = run_mix_with_mode(mix, &config, Box::new(NoMitigation), mode);
+            SystemMetrics::compute(&alone_ipc[m], &run.per_core_ipc)
+        });
         Self {
             config,
             mixes,
             alone_ipc,
             baseline,
+            threads,
+            mode,
         }
     }
 
@@ -148,39 +301,64 @@ impl EvaluationHarness {
         provider: SharedThresholdProvider,
         hc_first: u64,
     ) -> EvaluationPoint {
-        let provider_name = provider.name().to_string();
-        let rows_per_bank = self.config.memory.geometry.rows_per_bank;
-        let mut sums = SystemMetrics {
-            weighted_speedup: 0.0,
-            harmonic_speedup: 0.0,
-            max_slowdown: 0.0,
-        };
-        for ((mix, alone), baseline) in self
-            .mixes
-            .iter()
-            .zip(&self.alone_ipc)
-            .zip(&self.baseline)
-        {
-            let mitigation =
-                defense.build(provider.clone(), rows_per_bank, self.config.seed ^ hc_first);
-            let run = run_mix(mix, &self.config, mitigation);
-            let metrics = SystemMetrics::compute(alone, &run.per_core_ipc);
-            let normalized = metrics.normalized_to(baseline);
-            sums.weighted_speedup += normalized.weighted_speedup;
-            sums.harmonic_speedup += normalized.harmonic_speedup;
-            sums.max_slowdown += normalized.max_slowdown;
-        }
-        let n = self.mixes.len() as f64;
-        EvaluationPoint {
+        self.evaluate_all(&[SweepPoint {
             defense,
-            provider: provider_name,
+            provider,
             hc_first,
-            normalized: SystemMetrics {
-                weighted_speedup: sums.weighted_speedup / n,
-                harmonic_speedup: sums.harmonic_speedup / n,
-                max_slowdown: sums.max_slowdown / n,
-            },
-        }
+        }])
+        .pop()
+        .expect("one point in, one point out")
+    }
+
+    /// Evaluate a whole sweep, fanning the individual (point × mix) simulations
+    /// out across worker threads. Results are returned in input order; every
+    /// simulation seeds its defense from `config.seed ^ hc_first` and its traces
+    /// from `config.seed`, so the output is bit-identical to a serial sweep.
+    pub fn evaluate_all(&self, points: &[SweepPoint]) -> Vec<EvaluationPoint> {
+        let rows_per_bank = self.config.memory.geometry.rows_per_bank;
+        let n_mixes = self.mixes.len();
+        let tasks: Vec<(usize, usize)> = (0..points.len())
+            .flat_map(|p| (0..n_mixes).map(move |m| (p, m)))
+            .collect();
+        let normalized = parallel::par_map(&tasks, self.threads, |_, &(p, m)| {
+            let point = &points[p];
+            let mitigation = point.defense.build(
+                point.provider.clone(),
+                rows_per_bank,
+                self.config.seed ^ point.hc_first,
+            );
+            let run = run_mix_with_mode(&self.mixes[m], &self.config, mitigation, self.mode);
+            let metrics = SystemMetrics::compute(&self.alone_ipc[m], &run.per_core_ipc);
+            metrics.normalized_to(&self.baseline[m])
+        });
+        points
+            .iter()
+            .enumerate()
+            .map(|(p, point)| {
+                let mut sums = SystemMetrics {
+                    weighted_speedup: 0.0,
+                    harmonic_speedup: 0.0,
+                    max_slowdown: 0.0,
+                };
+                for m in 0..n_mixes {
+                    let norm = &normalized[p * n_mixes + m];
+                    sums.weighted_speedup += norm.weighted_speedup;
+                    sums.harmonic_speedup += norm.harmonic_speedup;
+                    sums.max_slowdown += norm.max_slowdown;
+                }
+                let n = n_mixes as f64;
+                EvaluationPoint {
+                    defense: point.defense,
+                    provider: point.provider.name().to_string(),
+                    hc_first: point.hc_first,
+                    normalized: SystemMetrics {
+                        weighted_speedup: sums.weighted_speedup / n,
+                        harmonic_speedup: sums.harmonic_speedup / n,
+                        max_slowdown: sums.max_slowdown / n,
+                    },
+                }
+            })
+            .collect()
     }
 }
 
@@ -205,6 +383,46 @@ mod tests {
     }
 
     #[test]
+    fn fast_forward_matches_per_cycle_simulation() {
+        let config = SystemConfig::tiny();
+        for mix in &tiny_mixes(2) {
+            let fast = run_mix(mix, &config, Box::new(NoMitigation));
+            let slow = run_mix_percycle(mix, &config, Box::new(NoMitigation));
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn fast_forward_matches_per_cycle_for_every_defense() {
+        use svard_cpusim::workload::WorkloadSpec;
+        let mut config = SystemConfig::tiny();
+        config.instructions_per_core = 3_000;
+        let mut mixes = tiny_mixes(1);
+        mixes.push(WorkloadMix::adversarial(
+            WorkloadSpec::adversarial_rrs(),
+            config.cores,
+        ));
+        mixes.push(WorkloadMix::adversarial(
+            WorkloadSpec::adversarial_hydra(),
+            config.cores,
+        ));
+        for mix in &mixes {
+            for defense in DefenseKind::ALL {
+                let build = || {
+                    defense.build(
+                        Arc::new(UniformThreshold::new(256)) as SharedThresholdProvider,
+                        config.memory.geometry.rows_per_bank,
+                        7,
+                    )
+                };
+                let fast = run_mix(mix, &config, build());
+                let slow = run_mix_percycle(mix, &config, build());
+                assert_eq!(fast, slow, "defense {defense}, mix {}", mix.id);
+            }
+        }
+    }
+
+    #[test]
     fn alone_ipc_is_at_least_shared_ipc() {
         let config = SystemConfig::tiny();
         let mix = &tiny_mixes(1)[0];
@@ -223,11 +441,7 @@ mod tests {
     fn aggressive_defense_at_low_threshold_costs_performance() {
         let config = SystemConfig::tiny();
         let harness = EvaluationHarness::new(config, tiny_mixes(2));
-        let strict = harness.evaluate(
-            DefenseKind::Para,
-            Arc::new(UniformThreshold::new(64)),
-            64,
-        );
+        let strict = harness.evaluate(DefenseKind::Para, Arc::new(UniformThreshold::new(64)), 64);
         let relaxed = harness.evaluate(
             DefenseKind::Para,
             Arc::new(UniformThreshold::new(64 * 1024)),
@@ -236,5 +450,30 @@ mod tests {
         assert!(strict.normalized.weighted_speedup <= relaxed.normalized.weighted_speedup + 0.02);
         assert!(relaxed.normalized.weighted_speedup > 0.9);
         assert!(strict.normalized.weighted_speedup <= 1.01);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_sweep() {
+        let config = SystemConfig::tiny();
+        let mixes = tiny_mixes(2);
+        let points: Vec<SweepPoint> = [64u64, 1024]
+            .iter()
+            .map(|&hc| SweepPoint {
+                defense: DefenseKind::Para,
+                provider: Arc::new(UniformThreshold::new(hc)) as SharedThresholdProvider,
+                hc_first: hc,
+            })
+            .collect();
+        let serial = EvaluationHarness::with_threads_and_mode(
+            config.clone(),
+            mixes.clone(),
+            1,
+            SimMode::FastForward,
+        );
+        let parallel =
+            EvaluationHarness::with_threads_and_mode(config, mixes, 4, SimMode::FastForward);
+        let a = serial.evaluate_all(&points);
+        let b = parallel.evaluate_all(&points);
+        assert_eq!(a, b);
     }
 }

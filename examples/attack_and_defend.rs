@@ -26,7 +26,9 @@ fn main() {
     chip.fill_row(0, victim, 0x00).unwrap();
     chip.fill_row(0, victim - 1, 0xFF).unwrap();
     chip.fill_row(0, victim + 1, 0xFF).unwrap();
-    let flips = chip.hammer_double_sided(0, victim, 64 * 1024, 36.0).unwrap();
+    let flips = chip
+        .hammer_double_sided(0, victim, 64 * 1024, 36.0)
+        .unwrap();
     println!("undefended: 64K double-sided hammers on row {victim} -> {flips} bitflips");
 
     // --- Defended attack: refresh the victim whenever the per-row budget is spent.
@@ -54,7 +56,13 @@ fn main() {
         println!("{name}: {flips} bitflips, {refreshes} preventive refreshes");
     };
 
-    run_defended(&|row| baseline.victim_threshold(bank, row), "defended (No Svärd) ");
-    run_defended(&|row| provider.victim_threshold(bank, row), "defended (Svärd-M0) ");
+    run_defended(
+        &|row| baseline.victim_threshold(bank, row),
+        "defended (No Svärd) ",
+    );
+    run_defended(
+        &|row| provider.victim_threshold(bank, row),
+        "defended (Svärd-M0) ",
+    );
     println!("Svärd keeps the victim safe while issuing fewer preventive refreshes.");
 }

@@ -15,10 +15,8 @@ fn main() {
         .unwrap_or_else(|| panic!("unknown module {label}; use H0-H4, M0-M4 or S0-S4"))
         .scaled(1024);
     let profile = ProfileGenerator::new(42).generate(&spec, 1);
-    let mut infra = TestInfrastructure::new(SimChip::new(
-        profile,
-        ChipConfig::for_characterization(256),
-    ));
+    let mut infra =
+        TestInfrastructure::new(SimChip::new(profile, ChipConfig::for_characterization(256)));
 
     println!("== Module {} ({}) ==", spec.label, spec.manufacturer);
     let config = CharacterizationConfig::paper().with_stride(4);
@@ -43,7 +41,9 @@ fn main() {
     for t_agg_on in [36.0, 500.0, 2000.0] {
         let pressed = infra.characterize_bank(
             0,
-            &CharacterizationConfig::quick().with_stride(16).with_t_agg_on(t_agg_on),
+            &CharacterizationConfig::quick()
+                .with_stride(16)
+                .with_t_agg_on(t_agg_on),
         );
         let mut values = pressed.hc_first_values();
         values.sort_unstable();

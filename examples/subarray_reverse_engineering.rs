@@ -11,12 +11,13 @@ fn main() {
     let spec = ModuleSpec::s4().scaled(768);
     let profile = ProfileGenerator::new(9).generate(&spec, 1);
     let truth = profile.bank(0).subarrays().clone();
-    let mut infra = TestInfrastructure::new(SimChip::new(
-        profile,
-        ChipConfig::for_characterization(128),
-    ));
+    let mut infra =
+        TestInfrastructure::new(SimChip::new(profile, ChipConfig::for_characterization(128)));
 
-    println!("== Reverse engineering subarray boundaries of module {} ==", spec.label);
+    println!(
+        "== Reverse engineering subarray boundaries of module {} ==",
+        spec.label
+    );
     let result = reverse_engineer_subarrays(&mut infra, 0, 0, 3);
 
     println!(

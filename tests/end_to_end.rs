@@ -60,7 +60,10 @@ fn svard_is_secure_and_useful_on_characterized_profiles() {
             let improved = (0..512)
                 .filter(|&row| provider.victim_threshold(bank, row) > target)
                 .count();
-            assert!(improved > 100, "{label}@{target}: only {improved} rows improved");
+            assert!(
+                improved > 100,
+                "{label}@{target}: only {improved} rows improved"
+            );
         }
     }
 }
@@ -77,7 +80,11 @@ fn defended_system_runs_and_svard_reduces_overhead() {
     let profile = ProfileGenerator::new(9).generate(&ModuleSpec::s0().scaled(512), 1);
     let svard = Svard::build(&profile, 64, 16);
 
-    for defense in [DefenseKind::Para, DefenseKind::Rrs, DefenseKind::BlockHammer] {
+    for defense in [
+        DefenseKind::Para,
+        DefenseKind::Rrs,
+        DefenseKind::BlockHammer,
+    ] {
         let without = harness.evaluate(defense, svard.baseline_provider(), 64);
         let with = harness.evaluate(defense, svard.provider(), 64);
         assert!(

@@ -1,6 +1,11 @@
-//! Property-based tests of the core invariants, using proptest.
+//! Property-style tests of the core invariants.
+//!
+//! These were originally written against `proptest`; this offline workspace
+//! drives the same invariants with a deterministic random sampler instead
+//! (fixed seed, 64 cases per property), so failures are always reproducible.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use svard_repro::analysis::descriptive::{coefficient_of_variation, BoxSummary};
 use svard_repro::core::{Svard, VulnerabilityBins};
@@ -9,14 +14,22 @@ use svard_repro::dram::mapping::{AddressMapper, RowScramble};
 use svard_repro::dram::DramGeometry;
 use svard_repro::vulnerability::{snap_to_grid, ModuleSpec, ProfileGenerator};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// Row scrambling schemes are bijections: no two logical rows collide and the
-    /// inverse recovers the original row.
-    #[test]
-    fn row_scrambles_are_bijective(rows_pow in 4u32..12, mask in 0usize..4096) {
-        let rows = 1usize << rows_pow;
+fn cases(test_name: &str) -> impl Iterator<Item = StdRng> {
+    let base = test_name.bytes().fold(0xCAFE_F00Du64, |h, b| {
+        h.wrapping_mul(31).wrapping_add(b as u64)
+    });
+    (0..CASES).map(move |i| StdRng::seed_from_u64(base ^ (i as u64).wrapping_mul(0x9E37_79B9)))
+}
+
+/// Row scrambling schemes are bijections: no two logical rows collide and the
+/// inverse recovers the original row.
+#[test]
+fn row_scrambles_are_bijective() {
+    for mut rng in cases("row_scrambles_are_bijective") {
+        let rows = 1usize << rng.random_range(4u32..12);
+        let mask = rng.random_range(0usize..4096);
         for scramble in [
             RowScramble::Identity,
             RowScramble::LowBitSwizzle,
@@ -26,68 +39,84 @@ proptest! {
             let mut seen = vec![false; rows];
             for logical in 0..rows {
                 let phys = scramble.logical_to_physical(logical, rows);
-                prop_assert!(!seen[phys]);
+                assert!(!seen[phys], "{scramble:?}: physical row {phys} hit twice");
                 seen[phys] = true;
-                prop_assert_eq!(scramble.physical_to_logical(phys, rows), logical);
+                assert_eq!(scramble.physical_to_logical(phys, rows), logical);
             }
         }
     }
+}
 
-    /// Every physical address maps to an in-bounds DRAM coordinate under both
-    /// interleaving schemes.
-    #[test]
-    fn address_mapping_is_always_in_bounds(addr in 0u64..(1 << 38)) {
-        let geometry = DramGeometry::table4_system();
+/// Every physical address maps to an in-bounds DRAM coordinate under both
+/// interleaving schemes.
+#[test]
+fn address_mapping_is_always_in_bounds() {
+    let geometry = DramGeometry::table4_system();
+    for mut rng in cases("address_mapping_is_always_in_bounds") {
+        let addr = rng.random_range(0u64..(1 << 38));
         for mapper in [AddressMapper::Mop, AddressMapper::RowBankColumn] {
             let coords = mapper.map(&geometry, addr);
-            prop_assert!(geometry.validate(&coords).is_ok());
+            assert!(geometry.validate(&coords).is_ok(), "{mapper:?} @ {addr:#x}");
         }
     }
+}
 
-    /// Grid snapping always rounds a threshold up to a tested hammer count.
-    #[test]
-    fn grid_snapping_rounds_up(threshold in 1.0f64..200_000.0) {
+/// Grid snapping always rounds a threshold up to a tested hammer count.
+#[test]
+fn grid_snapping_rounds_up() {
+    for mut rng in cases("grid_snapping_rounds_up") {
+        let threshold = 1.0 + rng.random::<f64>() * 199_999.0;
         match snap_to_grid(threshold) {
             Some(hc) => {
-                prop_assert!(hc as f64 >= threshold);
-                prop_assert!(svard_repro::dram::HAMMER_COUNT_GRID.contains(&hc));
+                assert!(hc as f64 >= threshold);
+                assert!(svard_repro::dram::HAMMER_COUNT_GRID.contains(&hc));
             }
-            None => prop_assert!(threshold > 128.0 * 1024.0),
+            None => assert!(threshold > 128.0 * 1024.0),
         }
     }
+}
 
-    /// Vulnerability bins never credit a row with more tolerance than it has,
-    /// regardless of the bin count or range.
-    #[test]
-    fn bins_round_down(
-        worst in 2u64..10_000,
-        span in 1u64..1000,
-        bins in 2usize..17,
-        hc in 0u64..2_000_000,
-    ) {
+/// Vulnerability bins never credit a row with more tolerance than it has,
+/// regardless of the bin count or range.
+#[test]
+fn bins_round_down() {
+    for mut rng in cases("bins_round_down") {
+        let worst = rng.random_range(2u64..10_000);
+        let span = rng.random_range(1u64..1000);
+        let bins = rng.random_range(2usize..17);
+        let hc = rng.random_range(0u64..2_000_000);
         let best = worst * (1 + span % 200);
         let bins = VulnerabilityBins::geometric(worst, best, bins.min(16));
         let credited = bins.threshold_of(bins.bin_of(hc));
-        prop_assert!(credited <= hc.max(worst));
-        prop_assert!(credited >= worst);
+        assert!(credited <= hc.max(worst));
+        assert!(credited >= worst);
     }
+}
 
-    /// The box-plot summary is internally consistent for arbitrary data.
-    #[test]
-    fn box_summary_is_ordered(values in prop::collection::vec(0.0f64..1e6, 1..200)) {
+/// The box-plot summary is internally consistent for arbitrary data.
+#[test]
+fn box_summary_is_ordered() {
+    for mut rng in cases("box_summary_is_ordered") {
+        let len = rng.random_range(1usize..200);
+        let values: Vec<f64> = (0..len).map(|_| rng.random::<f64>() * 1e6).collect();
         let b = BoxSummary::of(&values);
-        prop_assert!(b.min <= b.q1 + 1e-9);
-        prop_assert!(b.q1 <= b.median + 1e-9);
-        prop_assert!(b.median <= b.q3 + 1e-9);
-        prop_assert!(b.q3 <= b.max + 1e-9);
-        prop_assert!(b.whisker_low >= b.min - 1e-9 && b.whisker_high <= b.max + 1e-9);
-        prop_assert!(coefficient_of_variation(&values) >= 0.0);
+        assert!(b.min <= b.q1 + 1e-9);
+        assert!(b.q1 <= b.median + 1e-9);
+        assert!(b.median <= b.q3 + 1e-9);
+        assert!(b.q3 <= b.max + 1e-9);
+        assert!(b.whisker_low >= b.min - 1e-9 && b.whisker_high <= b.max + 1e-9);
+        assert!(coefficient_of_variation(&values) >= 0.0);
     }
+}
 
-    /// Svärd's security invariant holds for arbitrary seeds, scaling targets and
-    /// modules: the provider never exceeds the true threshold of either neighbour.
-    #[test]
-    fn svard_security_invariant_holds(seed in 0u64..50, target in 2u64..5000, module in 0usize..15) {
+/// Svärd's security invariant holds for arbitrary seeds, scaling targets and
+/// modules: the provider never exceeds the true threshold of either neighbour.
+#[test]
+fn svard_security_invariant_holds() {
+    for mut rng in cases("svard_security_invariant_holds") {
+        let seed = rng.random_range(0u64..50);
+        let target = rng.random_range(2u64..5000);
+        let module = rng.random_range(0usize..15);
         let spec = ModuleSpec::all()[module].scaled(128);
         let profile = ProfileGenerator::new(seed).generate(&spec, 1);
         let svard = Svard::build(&profile, target, 16);
@@ -98,7 +127,10 @@ proptest! {
             let below = row.saturating_sub(1);
             let above = (row + 1).min(127);
             let true_min = truth[0][below].min(truth[0][above]);
-            prop_assert!(provider.victim_threshold(bank, row) <= true_min);
+            assert!(
+                provider.victim_threshold(bank, row) <= true_min,
+                "module {module} seed {seed} target {target} row {row}"
+            );
         }
     }
 }

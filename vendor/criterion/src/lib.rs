@@ -1,0 +1,120 @@
+//! A minimal, dependency-free stand-in for `criterion`.
+//!
+//! The build environment has no network access, so the real criterion cannot be
+//! fetched. This shim keeps the `criterion_group!`/`criterion_main!`/
+//! `bench_function`/`Bencher::iter` surface the workspace benches use, measuring
+//! with plain wall-clock timing (median of several samples) and printing one
+//! line per benchmark. It is good enough to compare orders of magnitude and to
+//! track the perf trajectory across PRs; it does not do criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver. Holds measurement settings.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+    /// Number of timed samples per benchmark.
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement: Duration::from_millis(400),
+            samples: 7,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark and print its median per-iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            measurement: self.measurement,
+            samples: self.samples,
+            per_iter: Vec::new(),
+        };
+        f(&mut bencher);
+        let median = bencher.median();
+        println!("{id:<48} {}", format_duration(median));
+        self
+    }
+}
+
+/// Passed to the benchmark closure; times the routine given to [`iter`](Bencher::iter).
+pub struct Bencher {
+    measurement: Duration,
+    samples: usize,
+    per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine`, warming up first, then taking several timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate the per-sample iteration count.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed() < Duration::from_millis(50) {
+            std::hint::black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+        let budget = self.measurement.as_secs_f64() / self.samples as f64;
+        let iters_per_sample = ((budget / per_iter) as u64).clamp(1, 1_000_000_000);
+
+        self.per_iter.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.per_iter
+                .push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+
+    fn median(&self) -> f64 {
+        if self.per_iter.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.per_iter.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted[sorted.len() / 2]
+    }
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:>10.3} s/iter")
+    } else if secs >= 1e-3 {
+        format!("{:>10.3} ms/iter", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:>10.3} us/iter", secs * 1e6)
+    } else {
+        format!("{:>10.1} ns/iter", secs * 1e9)
+    }
+}
+
+/// Collect benchmark functions into one group runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups, as in real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
