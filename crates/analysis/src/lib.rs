@@ -15,6 +15,9 @@
 //! * [`features`] — expansion of a DRAM row's spatial coordinates into the per-bit
 //!   binary features the paper correlates against `HC_first`.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod classify;
 pub mod descriptive;
 pub mod features;

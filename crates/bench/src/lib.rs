@@ -6,6 +6,9 @@
 //! DRAM banks by default (the characterization pipeline is size-agnostic); pass
 //! `--rows`, `--banks`, `--stride`, `--mixes` or `--instructions` to scale up.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use svard_bender::TestInfrastructure;
 use svard_chip::{ChipConfig, SimChip};
 use svard_vulnerability::{ModuleSpec, ModuleVulnerabilityProfile, ProfileGenerator};

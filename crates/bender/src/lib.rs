@@ -33,6 +33,9 @@
 //! assert!(result.ber_at_max_hc >= 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod characterize;
 pub mod infrastructure;
 pub mod reverse;

@@ -7,7 +7,7 @@ use svard_vulnerability::cells;
 use svard_vulnerability::factors::{rowpress_amplification, temperature_factor};
 use svard_vulnerability::ModuleVulnerabilityProfile;
 
-use crate::bank::BankState;
+use crate::bank::{BankState, RowState};
 use crate::config::ChipConfig;
 use crate::stats::ChipStats;
 use crate::trr::TrrState;
@@ -110,6 +110,36 @@ impl SimChip {
     }
 
     // ------------------------------------------------------------------
+    // Checked internal accessors
+    //
+    // All indexing into bank/row storage funnels through these four
+    // functions. Callers either validated the index via `check_bank` /
+    // `check_row` at the public API boundary or derived it from an in-range
+    // enumeration; `to_physical` maps valid logical rows to valid physical
+    // rows by construction.
+    // ------------------------------------------------------------------
+
+    fn bank_state(&self, bank: usize) -> &BankState {
+        // lint: allow(panic) -- bank validated by check_bank at the API boundary
+        &self.banks[bank]
+    }
+
+    fn bank_state_mut(&mut self, bank: usize) -> &mut BankState {
+        // lint: allow(panic) -- bank validated by check_bank at the API boundary
+        &mut self.banks[bank]
+    }
+
+    fn row_state(&self, bank: usize, phys: usize) -> &RowState {
+        // lint: allow(panic) -- bank/phys validated by check_bank/check_row at the API boundary
+        &self.banks[bank].rows[phys]
+    }
+
+    fn row_state_mut(&mut self, bank: usize, phys: usize) -> &mut RowState {
+        // lint: allow(panic) -- bank/phys validated by check_bank/check_row at the API boundary
+        &mut self.banks[bank].rows[phys]
+    }
+
+    // ------------------------------------------------------------------
     // Command-level interface
     // ------------------------------------------------------------------
 
@@ -129,10 +159,15 @@ impl SimChip {
                 self.precharge(flat, now_ns)
             }
             DramCommand::PrechargeAll { .. } => {
-                for b in 0..self.banks.len() {
-                    if self.banks[b].is_open() {
-                        self.precharge(b, now_ns)?;
-                    }
+                let open: Vec<usize> = self
+                    .banks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| b.is_open())
+                    .map(|(i, _)| i)
+                    .collect();
+                for b in open {
+                    self.precharge(b, now_ns)?;
                 }
                 Ok(())
             }
@@ -167,20 +202,20 @@ impl SimChip {
     ) -> Result<(), DramError> {
         self.check_bank(bank)?;
         self.check_row(logical_row)?;
-        if self.banks[bank].is_open() {
+        if self.bank_state(bank).is_open() {
             return Err(DramError::ProtocolViolation {
                 reason: format!("ACT to bank {bank} which already has an open row"),
             });
         }
         let phys = self.to_physical(logical_row);
         self.materialize(bank, phys);
-        let b = &mut self.banks[bank];
+        self.row_state_mut(bank, phys).activations += 1;
+        let b = self.bank_state_mut(bank);
         b.open_row = Some(phys);
         b.open_since_ns = now_ns;
-        b.rows[phys].activations += 1;
         self.stats.activations += 1;
-        if !self.trr.is_empty() {
-            self.trr[bank].observe_activation(phys);
+        if let Some(trr) = self.trr.get_mut(bank) {
+            trr.observe_activation(phys);
         }
         Ok(())
     }
@@ -190,14 +225,14 @@ impl SimChip {
     /// physical neighbours.
     pub fn precharge(&mut self, bank: usize, now_ns: f64) -> Result<(), DramError> {
         self.check_bank(bank)?;
-        let Some(phys) = self.banks[bank].open_row else {
+        let Some(phys) = self.bank_state(bank).open_row else {
             return Err(DramError::ProtocolViolation {
                 reason: format!("PRE to bank {bank} with no open row"),
             });
         };
-        let t_on = (now_ns - self.banks[bank].open_since_ns).max(0.0);
+        let t_on = (now_ns - self.bank_state(bank).open_since_ns).max(0.0);
         self.disturb_neighbours(bank, phys, 1, t_on.max(36.0));
-        self.banks[bank].open_row = None;
+        self.bank_state_mut(bank).open_row = None;
         self.stats.precharges += 1;
         Ok(())
     }
@@ -212,16 +247,16 @@ impl SimChip {
     ) -> Result<Vec<u8>, DramError> {
         self.check_bank(bank)?;
         let phys = self.to_physical(logical_row);
-        if self.banks[bank].open_row != Some(phys) {
+        if self.bank_state(bank).open_row != Some(phys) {
             return Err(DramError::ProtocolViolation {
                 reason: format!("RD to bank {bank} row {logical_row} which is not open"),
             });
         }
         self.stats.reads += 1;
-        let data = &self.banks[bank].rows[phys].data;
+        let data = &self.row_state(bank, phys).data;
         let start = (column * 64).min(data.len());
         let end = (start + 64).min(data.len());
-        Ok(data[start..end].to_vec())
+        Ok(data.get(start..end).unwrap_or(&[]).to_vec())
     }
 
     /// Write one byte to every cell of a 64-byte column of the open row.
@@ -234,16 +269,18 @@ impl SimChip {
     ) -> Result<(), DramError> {
         self.check_bank(bank)?;
         let phys = self.to_physical(logical_row);
-        if self.banks[bank].open_row != Some(phys) {
+        if self.bank_state(bank).open_row != Some(phys) {
             return Err(DramError::ProtocolViolation {
                 reason: format!("WR to bank {bank} row {logical_row} which is not open"),
             });
         }
         self.stats.writes += 1;
-        let data = &mut self.banks[bank].rows[phys].data;
+        let data = &mut self.row_state_mut(bank, phys).data;
         let start = (column * 64).min(data.len());
         let end = (start + 64).min(data.len());
-        data[start..end].iter_mut().for_each(|b| *b = byte);
+        if let Some(slice) = data.get_mut(start..end) {
+            slice.iter_mut().for_each(|b| *b = byte);
+        }
         Ok(())
     }
 
@@ -257,17 +294,18 @@ impl SimChip {
         let per_ref = rows.div_ceil(8192).max(1);
         for bank in 0..self.banks.len() {
             for _ in 0..per_ref {
-                let cursor = self.banks[bank].refresh_cursor;
+                let cursor = self.bank_state(bank).refresh_cursor;
                 self.refresh_physical_row(bank, cursor);
-                self.banks[bank].refresh_cursor = (cursor + 1) % rows;
+                self.bank_state_mut(bank).refresh_cursor = (cursor + 1) % rows;
             }
-            if !self.trr.is_empty() {
-                let aggressors = self.trr[bank].on_refresh();
-                for phys in aggressors {
-                    for victim in self.physical_neighbours(phys) {
-                        self.refresh_physical_row(bank, victim);
-                        self.stats.trr_refreshes += 1;
-                    }
+            let aggressors = match self.trr.get_mut(bank) {
+                Some(trr) => trr.on_refresh(),
+                None => continue,
+            };
+            for phys in aggressors {
+                for victim in self.physical_neighbours(phys) {
+                    self.refresh_physical_row(bank, victim);
+                    self.stats.trr_refreshes += 1;
                 }
             }
         }
@@ -299,7 +337,7 @@ impl SimChip {
         let phys = self.to_physical(logical_row);
         // Sensing the row materializes pending disturbance first.
         self.materialize(bank, phys);
-        self.banks[bank].rows[phys].fill(byte);
+        self.row_state_mut(bank, phys).fill(byte);
         Ok(())
     }
 
@@ -310,9 +348,10 @@ impl SimChip {
         self.check_row(logical_row)?;
         let phys = self.to_physical(logical_row);
         self.materialize(bank, phys);
-        Ok(self.banks[bank].rows[phys].data.clone())
+        Ok(self.row_state(bank, phys).data.clone())
     }
 
+    // lint: hot-path
     /// Count the bits of a logical row that differ from a repeated expected byte.
     /// Counts in place over the stored row — no copy of the row data is made.
     pub fn count_bitflips(
@@ -327,12 +366,14 @@ impl SimChip {
         // Sensing the row materializes pending disturbance first, exactly as
         // `read_row` would.
         self.materialize(bank, phys);
-        Ok(self.banks[bank].rows[phys]
+        Ok(self
+            .row_state(bank, phys)
             .data
             .iter()
             .map(|b| (b ^ expected).count_ones() as usize)
             .sum())
     }
+    // lint: end-hot-path
 
     /// Double-sided hammering fast path (the paper's `hammer_doublesided`):
     /// activate each of the victim's two physically adjacent neighbours
@@ -405,8 +446,8 @@ impl SimChip {
         let same_subarray = self.profile.bank(bank).subarrays().same_subarray(src, dst);
         let success = same_subarray && self.rng.random::<f64>() < self.config.rowclone_success_rate;
         if success {
-            let data = self.banks[bank].rows[src].data.clone();
-            self.banks[bank].rows[dst].data = data;
+            let data = self.row_state(bank, src).data.clone();
+            self.row_state_mut(bank, dst).data = data;
             self.stats.rowclone_successes += 1;
         } else {
             self.stats.rowclone_failures += 1;
@@ -416,16 +457,20 @@ impl SimChip {
 
     /// Direct, physics-free access to a row's stored bytes (test/debug only: does not
     /// materialize disturbance and does not count as an access).
-    pub fn peek_row(&self, bank: usize, logical_row: usize) -> &[u8] {
+    pub fn peek_row(&self, bank: usize, logical_row: usize) -> Result<&[u8], DramError> {
+        self.check_bank(bank)?;
+        self.check_row(logical_row)?;
         let phys = self.to_physical(logical_row);
-        &self.banks[bank].rows[phys].data
+        Ok(&self.row_state(bank, phys).data)
     }
 
     /// Accumulated (not yet materialized) disturbance dose of a row, in effective
     /// hammer pairs. Exposed for tests and for defense-evaluation sanity checks.
-    pub fn pending_dose(&self, bank: usize, logical_row: usize) -> f64 {
+    pub fn pending_dose(&self, bank: usize, logical_row: usize) -> Result<f64, DramError> {
+        self.check_bank(bank)?;
+        self.check_row(logical_row)?;
         let phys = self.to_physical(logical_row);
-        self.banks[bank].rows[phys].dose
+        Ok(self.row_state(bank, phys).dose)
     }
 
     // ------------------------------------------------------------------
@@ -447,6 +492,7 @@ impl SimChip {
         out
     }
 
+    // lint: hot-path
     fn hammer_physical_aggressor(
         &mut self,
         bank: usize,
@@ -454,14 +500,14 @@ impl SimChip {
         count: u64,
         t_agg_on_ns: f64,
     ) {
-        self.banks[bank].rows[aggressor_phys].activations += count;
+        self.row_state_mut(bank, aggressor_phys).activations += count;
         self.stats.activations += count;
         self.stats.precharges += count;
-        if !self.trr.is_empty() {
+        if let Some(trr) = self.trr.get_mut(bank) {
             // The TRR sketch sees every activation; feed it a bounded number of
             // observations to keep the fast path fast while preserving ranking.
             for _ in 0..count.min(64) {
-                self.trr[bank].observe_activation(aggressor_phys);
+                trr.observe_activation(aggressor_phys);
             }
         }
         self.disturb_neighbours(bank, aggressor_phys, count, t_agg_on_ns);
@@ -480,18 +526,27 @@ impl SimChip {
         // Distance-1 victims (same subarray only).
         for victim in self.physical_neighbours(aggressor_phys) {
             let coupling = self.estimate_coupling(bank, aggressor_phys, victim);
-            self.banks[bank].rows[victim].dose += 0.5 * activations as f64 * amp * coupling;
+            self.row_state_mut(bank, victim).dose += 0.5 * activations as f64 * amp * coupling;
         }
         // Weak distance-2 victims.
         if self.config.distance2_coupling > 0.0 {
-            let sa = self.profile.bank(0).subarrays();
             for offset in [-2isize, 2] {
                 let v = aggressor_phys as isize + offset;
-                if v >= 0 && (v as usize) < rows && sa.same_subarray(aggressor_phys, v as usize) {
-                    let coupling = self.estimate_coupling(bank, aggressor_phys, v as usize);
-                    self.banks[bank].rows[v as usize].dose +=
-                        0.5 * activations as f64 * amp * coupling * self.config.distance2_coupling;
+                if v < 0 || (v as usize) >= rows {
+                    continue;
                 }
+                let v = v as usize;
+                if !self
+                    .profile
+                    .bank(0)
+                    .subarrays()
+                    .same_subarray(aggressor_phys, v)
+                {
+                    continue;
+                }
+                let coupling = self.estimate_coupling(bank, aggressor_phys, v);
+                self.row_state_mut(bank, v).dose +=
+                    0.5 * activations as f64 * amp * coupling * self.config.distance2_coupling;
             }
         }
     }
@@ -501,19 +556,19 @@ impl SimChip {
     /// stripe) couples hardest, checkerboard-style opposite data next, identical
     /// data least (Table 2 ordering).
     fn estimate_coupling(&self, bank: usize, aggressor_phys: usize, victim_phys: usize) -> f64 {
-        let a = &self.banks[bank].rows[aggressor_phys].data;
-        let v = &self.banks[bank].rows[victim_phys].data;
+        let a = &self.row_state(bank, aggressor_phys).data;
+        let v = &self.row_state(bank, victim_phys).data;
         let n = a.len().min(v.len()).min(16);
         if n == 0 {
             return 1.0;
         }
         let mut sum = 0.0;
-        for i in 0..n {
-            let x = a[i] ^ v[i];
+        for (&ab, &vb) in a.iter().zip(v.iter()).take(n) {
+            let x = ab ^ vb;
             sum += if x == 0xFF {
                 // Fully opposite bits: row stripe if the bytes are uniform, else
                 // checkerboard-like.
-                if a[i] == 0x00 || a[i] == 0xFF {
+                if ab == 0x00 || ab == 0xFF {
                     1.0
                 } else {
                     0.82
@@ -526,11 +581,11 @@ impl SimChip {
     }
 
     fn materialize(&mut self, bank: usize, phys: usize) {
-        let dose = self.banks[bank].rows[phys].dose;
+        let dose = self.row_state(bank, phys).dose;
         if dose <= 0.0 {
             return;
         }
-        self.banks[bank].rows[phys].dose = 0.0;
+        self.row_state_mut(bank, phys).dose = 0.0;
         let row_profile = self.profile.row(bank, phys);
         if !row_profile.flips_at_effective(dose) {
             return;
@@ -538,12 +593,14 @@ impl SimChip {
         let ber = row_profile.ber_at_effective(dose);
         let bits = self.config.bits_per_row();
         let flipped = cells::flipped_cells(self.profile.seed(), bank, phys, bits, ber);
-        let data = &mut self.banks[bank].rows[phys].data;
+        let data = &mut self.row_state_mut(bank, phys).data;
         for bit in &flipped {
+            // lint: allow(panic) -- flipped_cells yields bit indices below bits_per_row = 8 * data.len()
             data[bit / 8] ^= 1 << (bit % 8);
         }
         self.stats.bitflips_materialized += flipped.len() as u64;
     }
+    // lint: end-hot-path
 }
 
 #[cfg(test)]
@@ -581,6 +638,7 @@ mod tests {
         assert_eq!(chip.count_bitflips(0, victim, 0x00).unwrap() as u64, {
             // bitflips persist in the stored data
             chip.peek_row(0, victim)
+                .unwrap()
                 .iter()
                 .map(|b| b.count_ones() as u64)
                 .sum::<u64>()
@@ -639,9 +697,9 @@ mod tests {
         // so explicitly accumulate dose without materializing via single-sided calls.
         chip.hammer_single_sided(0, victim - 1, 20 * 1024, 36.0)
             .unwrap();
-        assert!(chip.pending_dose(0, victim) > 0.0);
+        assert!(chip.pending_dose(0, victim).unwrap() > 0.0);
         chip.refresh_row(0, victim).unwrap();
-        assert_eq!(chip.pending_dose(0, victim), 0.0);
+        assert_eq!(chip.pending_dose(0, victim).unwrap(), 0.0);
         let flips = chip.count_bitflips(0, victim, 0x00).unwrap();
         assert_eq!(flips, 0);
     }
@@ -681,7 +739,7 @@ mod tests {
             }
         }
         // 200 hammers accumulate a dose of ~200 on the victim.
-        let dose = chip.pending_dose(0, victim);
+        let dose = chip.pending_dose(0, victim).unwrap();
         assert!((dose - 200.0).abs() < 10.0, "dose = {dose}");
     }
 
@@ -745,7 +803,11 @@ mod tests {
         // Within a subarray: succeeds with high probability; retry a few times.
         let ok = (0..10).any(|_| chip.attempt_rowclone(0, src, dst_same).unwrap());
         assert!(ok);
-        assert!(chip.peek_row(0, dst_same).iter().all(|&b| b == 0x77));
+        assert!(chip
+            .peek_row(0, dst_same)
+            .unwrap()
+            .iter()
+            .all(|&b| b == 0x77));
     }
 
     #[test]

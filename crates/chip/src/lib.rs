@@ -33,6 +33,9 @@
 //! assert!(flips > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod bank;
 pub mod chip;
 pub mod config;

@@ -35,6 +35,9 @@
 //! drop(provider);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod bins;
 pub mod hwcost;
 pub mod provider;

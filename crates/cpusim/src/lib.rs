@@ -25,6 +25,9 @@
 //! assert!(event.non_mem_instructions <= 10_000);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod cache;
 pub mod core;
 pub mod metrics;

@@ -24,7 +24,9 @@ pub struct Aqua {
     counters: ActivationCounters,
     rows_per_bank: usize,
     /// Next quarantine slot per bank (round-robin within the reserved region).
-    next_slot: std::collections::HashMap<BankId, usize>,
+    // BTreeMap: per-bank entry access only, but keyed iteration order stays
+    // deterministic if a future change walks the quarantine allocator state.
+    next_slot: std::collections::BTreeMap<BankId, usize>,
     name: String,
     migrations: u64,
 }
@@ -37,7 +39,7 @@ impl Aqua {
             provider,
             counters: ActivationCounters::new(),
             rows_per_bank: rows_per_bank.max(QUARANTINE_REGION_FRACTION),
-            next_slot: std::collections::HashMap::new(),
+            next_slot: std::collections::BTreeMap::new(),
             name,
             migrations: 0,
         }
@@ -59,6 +61,7 @@ impl Aqua {
     }
 }
 
+// lint: hot-path
 impl MitigationHook for Aqua {
     fn on_activation(
         &mut self,
@@ -95,6 +98,7 @@ impl MitigationHook for Aqua {
         &self.name
     }
 }
+// lint: end-hot-path
 
 #[cfg(test)]
 mod tests {

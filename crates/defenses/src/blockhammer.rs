@@ -56,6 +56,7 @@ impl BlockHammer {
     }
 }
 
+// lint: hot-path
 impl MitigationHook for BlockHammer {
     fn on_activation(
         &mut self,
@@ -99,6 +100,7 @@ impl MitigationHook for BlockHammer {
         &self.name
     }
 }
+// lint: end-hot-path
 
 #[cfg(test)]
 mod tests {

@@ -15,6 +15,9 @@ pub const REFRESH_TICKS_PER_WINDOW: u64 = 8192;
 /// tested against, and is also what AQUA and Hydra's per-row tables model.
 #[derive(Debug, Clone, Default)]
 pub struct ActivationCounters {
+    // Determinism audit: entry/get/remove/clear only — the table is never
+    // iterated, so HashMap's hasher-dependent order cannot leak into results,
+    // and O(1) access matters on the per-activation hot path.
     counts: HashMap<(BankId, usize), u64>,
     refresh_ticks: u64,
 }

@@ -12,7 +12,7 @@
 //! counter traffic* caused by RCC misses — which Svärd does not reduce (Obsv. 14
 //! explains why Svärd's gains on Hydra are modest).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use svard_dram::address::BankId;
 use svard_memsim::{MitigationHook, PreventiveAction};
 
@@ -32,10 +32,15 @@ const RCC_MISS_ACCESSES: u32 = 2;
 /// The Hydra defense.
 pub struct Hydra {
     provider: SharedThresholdProvider,
+    // Entry-only access (never iterated), so HashMap's arbitrary order is safe
+    // here and its O(1) lookups matter on the activation path.
     group_counts: HashMap<(BankId, usize), u64>,
     row_counts: HashMap<(BankId, usize), u64>,
-    /// LRU-ish row-count cache: maps (bank, row) to last-use stamp.
-    rcc: HashMap<(BankId, usize), u64>,
+    /// LRU-ish row-count cache: maps (bank, row) to last-use stamp. A BTreeMap
+    /// so that eviction scans visit entries in key order: when two entries tie
+    /// on the use stamp, the evicted victim is the smallest key — deterministic
+    /// across runs, unlike HashMap's hasher-dependent iteration order.
+    rcc: BTreeMap<(BankId, usize), u64>,
     use_stamp: u64,
     name: String,
     rcc_misses: u64,
@@ -51,7 +56,7 @@ impl Hydra {
             provider,
             group_counts: HashMap::new(),
             row_counts: HashMap::new(),
-            rcc: HashMap::new(),
+            rcc: BTreeMap::new(),
             use_stamp: 0,
             name,
             rcc_misses: 0,
@@ -75,6 +80,7 @@ impl Hydra {
         self.preventive_refreshes
     }
 
+    // lint: hot-path
     fn rcc_access(&mut self, bank: BankId, row: usize) -> bool {
         self.use_stamp += 1;
         let key = (bank, row);
@@ -85,7 +91,8 @@ impl Hydra {
         }
         self.rcc_misses += 1;
         if self.rcc.len() >= RCC_ENTRIES {
-            // Evict the least recently used entry.
+            // Evict the least recently used entry; BTreeMap iteration order
+            // makes the tie-break (smallest key among equal stamps) stable.
             if let Some((&victim, _)) = self.rcc.iter().min_by_key(|(_, &stamp)| stamp) {
                 self.rcc.remove(&victim);
             }
@@ -153,6 +160,7 @@ impl MitigationHook for Hydra {
         &self.name
     }
 }
+// lint: end-hot-path
 
 #[cfg(test)]
 mod tests {

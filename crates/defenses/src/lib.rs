@@ -23,6 +23,9 @@
 //! worst-case `HC_first` for every row. Svärd (in `svard-core`) provides a per-row
 //! answer, which is the *only* thing that changes when Svärd is enabled (Fig. 11).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod aqua;
 pub mod blockhammer;
 pub mod common;

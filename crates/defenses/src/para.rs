@@ -51,6 +51,7 @@ impl Para {
     }
 }
 
+// lint: hot-path
 impl MitigationHook for Para {
     fn on_activation(
         &mut self,
@@ -74,6 +75,7 @@ impl MitigationHook for Para {
         &self.name
     }
 }
+// lint: end-hot-path
 
 #[cfg(test)]
 mod tests {

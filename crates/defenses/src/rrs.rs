@@ -61,7 +61,10 @@ impl MisraGries {
 /// The RRS defense.
 pub struct Rrs {
     provider: SharedThresholdProvider,
-    trackers: std::collections::HashMap<BankId, MisraGries>,
+    // BTreeMap: `on_refresh_tick` iterates the trackers, and per-bank lookups
+    // are cheap at bank counts; key order keeps any future iteration-dependent
+    // logic deterministic.
+    trackers: std::collections::BTreeMap<BankId, MisraGries>,
     rows_per_bank: usize,
     rng: StdRng,
     refresh_ticks: u64,
@@ -75,7 +78,7 @@ impl Rrs {
         let name = format!("RRS ({})", provider.name());
         Self {
             provider,
-            trackers: std::collections::HashMap::new(),
+            trackers: std::collections::BTreeMap::new(),
             rows_per_bank: rows_per_bank.max(2),
             rng: StdRng::seed_from_u64(seed ^ 0x0225_5225),
             refresh_ticks: 0,

@@ -16,13 +16,23 @@ pub enum DramCommand {
     /// Precharge (close) the open row of one bank.
     Precharge(BankId),
     /// Precharge all banks of a rank.
-    PrechargeAll { channel: usize, rank: usize },
+    PrechargeAll {
+        /// Channel the rank lives on.
+        channel: usize,
+        /// Rank within the channel.
+        rank: usize,
+    },
     /// Read a column of the open row.
     Read(DramAddress),
     /// Write a column of the open row.
     Write(DramAddress),
     /// Rank-level auto-refresh.
-    Refresh { channel: usize, rank: usize },
+    Refresh {
+        /// Channel the rank lives on.
+        channel: usize,
+        /// Rank within the channel.
+        rank: usize,
+    },
     /// Wait for a given number of nanoseconds (test programs only).
     WaitNs(f64),
 }

@@ -23,6 +23,9 @@
 //! assert_eq!(DataPattern::RowStripe.inverse(), DataPattern::RowStripeInverse);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod address;
 pub mod command;
 pub mod error;

@@ -1,0 +1,246 @@
+//! `// lint:` comment directives: inline suppressions and hot-path region
+//! markers.
+//!
+//! Three directive forms are recognised anywhere in a comment:
+//!
+//! * `lint: allow(rule[, rule...]) -- <reason>` — suppress diagnostics for the
+//!   named rules on the directive's line and on the following line (so the
+//!   directive can trail the offending statement or sit on its own line just
+//!   above it). The reason is mandatory; a missing reason is itself reported.
+//! * `lint: hot-path` — start an allocation-banned region (rule
+//!   `hot-path-alloc`).
+//! * `lint: end-hot-path` — end the current hot-path region.
+
+use crate::lexer::Comment;
+
+/// A parsed `lint: allow(...)` suppression.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule names this suppression applies to.
+    pub rules: Vec<String>,
+    /// Line the directive appears on.
+    pub line: u32,
+}
+
+/// A line range `[start, end]` (inclusive) fenced by hot-path markers.
+#[derive(Debug, Clone, Copy)]
+pub struct HotPathRegion {
+    /// Line of the `lint: hot-path` marker.
+    pub start: u32,
+    /// Line of the matching `lint: end-hot-path` marker (`u32::MAX` when the
+    /// region is unterminated — also reported as a directive error).
+    pub end: u32,
+}
+
+/// A malformed directive, reported under the `bad-directive` rule.
+#[derive(Debug, Clone)]
+pub struct DirectiveError {
+    /// Line of the malformed directive.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// All directives of one file.
+#[derive(Debug, Default)]
+pub struct Directives {
+    /// Inline suppressions.
+    pub suppressions: Vec<Suppression>,
+    /// Hot-path regions.
+    pub hot_paths: Vec<HotPathRegion>,
+    /// Malformed directives.
+    pub errors: Vec<DirectiveError>,
+}
+
+impl Directives {
+    /// Whether a diagnostic for `rule` at `line` is suppressed by an allow
+    /// directive on the same line or the line directly above.
+    pub fn is_suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppressions.iter().any(|s| {
+            (s.line == line || s.line + 1 == line)
+                && s.rules.iter().any(|r| r == rule || r == "all")
+        })
+    }
+
+    /// Whether `line` falls inside a hot-path region (markers excluded).
+    pub fn in_hot_path(&self, line: u32) -> bool {
+        self.hot_paths
+            .iter()
+            .any(|r| line > r.start && line < r.end)
+    }
+}
+
+/// Extract directives from a file's comments.
+pub fn parse(comments: &[Comment]) -> Directives {
+    let mut out = Directives::default();
+    let mut open_region: Option<u32> = None;
+    for comment in comments {
+        // A block comment can span lines; directives are only recognised on
+        // its first line, which is where `comment.line` points.
+        let Some(rest) = directive_body(&comment.text) else {
+            continue;
+        };
+        if rest == "hot-path" {
+            if open_region.is_some() {
+                out.errors.push(DirectiveError {
+                    line: comment.line,
+                    message: "nested `lint: hot-path` (previous region still open)".to_string(),
+                });
+            } else {
+                open_region = Some(comment.line);
+            }
+        } else if rest == "end-hot-path" {
+            match open_region.take() {
+                Some(start) => out.hot_paths.push(HotPathRegion {
+                    start,
+                    end: comment.line,
+                }),
+                None => out.errors.push(DirectiveError {
+                    line: comment.line,
+                    message: "`lint: end-hot-path` without a matching `lint: hot-path`".to_string(),
+                }),
+            }
+        } else if let Some(args) = rest.strip_prefix("allow") {
+            match parse_allow(args) {
+                Ok(rules) => out.suppressions.push(Suppression {
+                    rules,
+                    line: comment.line,
+                }),
+                Err(message) => out.errors.push(DirectiveError {
+                    line: comment.line,
+                    message,
+                }),
+            }
+        } else {
+            out.errors.push(DirectiveError {
+                line: comment.line,
+                message: format!("unknown lint directive `{rest}`"),
+            });
+        }
+    }
+    if let Some(start) = open_region {
+        out.errors.push(DirectiveError {
+            line: start,
+            message: "`lint: hot-path` region is never closed with `lint: end-hot-path`"
+                .to_string(),
+        });
+        out.hot_paths.push(HotPathRegion {
+            start,
+            end: u32::MAX,
+        });
+    }
+    out
+}
+
+/// If the comment contains a `lint:` directive, return the directive body
+/// (trimmed text after `lint:`).
+fn directive_body(comment: &str) -> Option<&str> {
+    let trimmed = comment.trim_start_matches(['/', '!', '*']).trim_start();
+    let rest = trimmed.strip_prefix("lint:")?;
+    Some(rest.trim())
+}
+
+/// Parse `(rule, rule) -- reason`, requiring a non-empty reason.
+fn parse_allow(args: &str) -> Result<Vec<String>, String> {
+    let args = args.trim();
+    let Some(inner_and_rest) = args.strip_prefix('(') else {
+        return Err("expected `allow(<rule>, ...) -- <reason>`".to_string());
+    };
+    let Some(close) = inner_and_rest.find(')') else {
+        return Err("unclosed `(` in `lint: allow(...)`".to_string());
+    };
+    let inner = &inner_and_rest[..close];
+    let rules: Vec<String> = inner
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("`lint: allow()` names no rules".to_string());
+    }
+    let rest = inner_and_rest[close + 1..].trim();
+    let Some(reason) = rest.strip_prefix("--") else {
+        return Err("`lint: allow(...)` requires a reason: `-- <why this is sound>`".to_string());
+    };
+    if reason.trim().is_empty() {
+        return Err("`lint: allow(...)` has an empty reason".to_string());
+    }
+    Ok(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn directives_of(src: &str) -> Directives {
+        parse(&lex(src).comments)
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_same_and_next_line() {
+        let d = directives_of("// lint: allow(panic) -- index is bounds-checked above\nx();");
+        assert!(d.errors.is_empty());
+        assert!(d.is_suppressed("panic", 1));
+        assert!(d.is_suppressed("panic", 2));
+        assert!(!d.is_suppressed("panic", 3));
+        assert!(!d.is_suppressed("determinism", 2));
+    }
+
+    #[test]
+    fn allow_without_reason_is_an_error() {
+        let d = directives_of("// lint: allow(panic)");
+        assert_eq!(d.errors.len(), 1);
+        assert!(d.suppressions.is_empty());
+    }
+
+    #[test]
+    fn multiple_rules_in_one_allow() {
+        let d = directives_of("// lint: allow(panic, determinism) -- test-only helper");
+        assert!(d.is_suppressed("panic", 1));
+        assert!(d.is_suppressed("determinism", 2));
+    }
+
+    #[test]
+    fn hot_path_region_covers_inner_lines_only() {
+        let d = directives_of("// lint: hot-path\na();\nb();\n// lint: end-hot-path\nc();");
+        assert!(d.errors.is_empty());
+        assert!(!d.in_hot_path(1));
+        assert!(d.in_hot_path(2));
+        assert!(d.in_hot_path(3));
+        assert!(!d.in_hot_path(4));
+        assert!(!d.in_hot_path(5));
+    }
+
+    #[test]
+    fn unclosed_hot_path_is_an_error_but_still_a_region() {
+        let d = directives_of("// lint: hot-path\na();");
+        assert_eq!(d.errors.len(), 1);
+        assert!(d.in_hot_path(2));
+    }
+
+    #[test]
+    fn unmatched_end_is_an_error() {
+        let d = directives_of("// lint: end-hot-path");
+        assert_eq!(d.errors.len(), 1);
+    }
+
+    #[test]
+    fn unknown_directive_is_an_error() {
+        let d = directives_of("// lint: frobnicate");
+        assert_eq!(d.errors.len(), 1);
+    }
+
+    #[test]
+    fn non_directive_comments_are_ignored() {
+        let d = directives_of("// just a note about linting things\n/* and a block */");
+        assert!(d.errors.is_empty());
+        assert!(d.suppressions.is_empty());
+    }
+
+    #[test]
+    fn doc_comment_directives_are_recognised() {
+        let d = directives_of("/// lint: allow(panic) -- documented invariant\nf();");
+        assert!(d.is_suppressed("panic", 2));
+    }
+}

@@ -1,0 +1,475 @@
+//! A minimal Rust lexer, sufficient for token-level lint rules.
+//!
+//! The lexer's one job is to separate *code* tokens from everything that merely
+//! looks like code: string literals (including raw and byte strings), character
+//! literals (disambiguated from lifetimes), and comments (including nested block
+//! comments and doc comments). Rules then pattern-match on the token stream
+//! without ever being fooled by `"Instant::now"` appearing inside a string or a
+//! commented-out `unwrap()`.
+//!
+//! Comments are not discarded: their text is collected (with line numbers) so
+//! that the directive layer can recognise `// lint: ...` markers.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `fn`, `unsafe`, `r#async`).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `!`, `[`, ...).
+    Punct,
+    /// A string literal of any flavour (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// A character literal (`'a'`, `'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// A numeric literal (`42`, `0xFF`, `1.5e3`).
+    Num,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text. For [`TokenKind::Str`] the text is empty (rules never
+    /// need string contents); for [`TokenKind::Punct`] it is one character.
+    pub text: String,
+    /// 1-based source line on which the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if the token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True if the token is the given punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// A comment with its starting line, as raw text without the `//` / `/*`
+/// delimiters. Multi-line block comments keep their inner newlines.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text, delimiters stripped.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The output of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order (needed for `// lint:` directives).
+    pub comments: Vec<Comment>,
+}
+
+/// Lex Rust source text. The lexer is permissive: on malformed input it makes
+/// forward progress rather than erroring, which is the right trade-off for a
+/// lint that must never crash the build on a file rustc itself will reject.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push_token(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.string_literal();
+                    self.push_token(TokenKind::Str, String::new(), line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(line),
+                c if c.is_ascii_digit() => {
+                    let text = self.number();
+                    self.push_token(TokenKind::Num, text, line);
+                }
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                c => {
+                    self.bump();
+                    self.push_token(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    /// Block comment with nesting, as Rust defines it.
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                    text.push_str("/*");
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    /// A plain (non-raw) string literal body, starting at the opening quote.
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// A raw string body: `pos` is at the first `#` or the opening quote after
+    /// the `r` prefix. Consumes through the matching closing quote+hashes.
+    fn raw_string_literal(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        seen += 1;
+                        self.bump();
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// After a `'`: decide between a char literal and a lifetime.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume to the closing quote.
+                self.bump();
+                self.bump(); // the escaped character (or first of \u{...})
+                while let Some(c) = self.peek(0) {
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push_token(TokenKind::Char, String::new(), line);
+            }
+            Some(c) if self.peek(1) == Some('\'') => {
+                // One character then a quote: 'a', '0', '{', ' '.
+                let _ = c;
+                self.bump();
+                self.bump();
+                self.push_token(TokenKind::Char, String::new(), line);
+            }
+            Some(c) if is_ident_start(c) => {
+                // A lifetime: consume the identifier part.
+                let mut text = String::from("'");
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    self.bump();
+                }
+                self.push_token(TokenKind::Lifetime, text, line);
+            }
+            _ => {
+                // A bare quote (malformed or macro edge case): emit as punct.
+                self.push_token(TokenKind::Punct, "'".to_string(), line);
+            }
+        }
+    }
+
+    /// An identifier, or a string literal with an `r`/`b`/`br`/`c`/`cr` prefix,
+    /// or a raw identifier `r#name`.
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        let is_raw_prefix = matches!(text.as_str(), "r" | "br" | "cr");
+        let is_plain_prefix = matches!(text.as_str(), "b" | "c");
+        match self.peek(0) {
+            Some('"') if is_raw_prefix => {
+                self.raw_string_literal();
+                self.push_token(TokenKind::Str, String::new(), line);
+            }
+            Some('"') if is_plain_prefix => {
+                self.string_literal();
+                self.push_token(TokenKind::Str, String::new(), line);
+            }
+            Some('#') if is_raw_prefix && self.peek(1).is_some_and(|c| c == '"' || c == '#') => {
+                self.raw_string_literal();
+                self.push_token(TokenKind::Str, String::new(), line);
+            }
+            Some('#') if text == "r" && self.peek(1).is_some_and(is_ident_start) => {
+                // Raw identifier r#async: lex the identifier part, keep its name.
+                self.bump();
+                let mut name = String::new();
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    name.push(c);
+                    self.bump();
+                }
+                self.push_token(TokenKind::Ident, name, line);
+            }
+            Some('\'') if text == "b" => {
+                // Byte char literal b'x'.
+                self.char_or_lifetime(line);
+                if let Some(t) = self.out.tokens.last_mut() {
+                    t.kind = TokenKind::Char;
+                }
+            }
+            _ => self.push_token(TokenKind::Ident, text, line),
+        }
+    }
+
+    fn number(&mut self) -> String {
+        let mut text = String::new();
+        let mut prev_exponent = false;
+        while let Some(c) = self.peek(0) {
+            let take = c.is_ascii_alphanumeric()
+                || c == '_'
+                || c == '.' && self.peek(1).is_none_or(|n| n != '.')
+                || (c == '+' || c == '-') && prev_exponent;
+            if !take {
+                break;
+            }
+            prev_exponent = c == 'e' || c == 'E';
+            text.push(c);
+            self.bump();
+        }
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_the_token_stream() {
+        let src = r#"let x = "Instant::now() unwrap()"; call();"#;
+        assert_eq!(idents(src), vec!["let", "x", "call"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_skipped() {
+        let src = r###"let s = r#"a "quoted" unwrap() thing"#; after();"###;
+        assert_eq!(idents(src), vec!["let", "s", "after"]);
+    }
+
+    #[test]
+    fn raw_string_with_two_hashes_and_inner_hash_quote() {
+        let src = "let s = r##\"contains \"# inside\"##; tail();";
+        assert_eq!(idents(src), vec!["let", "s", "tail"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings_are_skipped() {
+        let src = r##"let a = b"panic!"; let b2 = br#"panic!"#; done();"##;
+        assert_eq!(idents(src), vec!["let", "a", "let", "b2", "done"]);
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_comment() {
+        let src = "before(); /* outer /* inner unwrap() */ still outer */ after();";
+        let lexed = lex(src);
+        let names: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(names, vec!["before", "after"]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner unwrap()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str, c: char) { let y = 'b'; let z = '\\n'; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore_lifetime() {
+        let src = "fn f(x: &'static str) -> &'_ str { x }";
+        let lexed = lex(src);
+        let lifetimes: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'static", "'_"]);
+    }
+
+    #[test]
+    fn char_literal_with_unicode_escape() {
+        let src = "let c = '\\u{1F600}'; next();";
+        assert_eq!(idents(src), vec!["let", "c", "next"]);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked_through_comments_and_strings() {
+        let src = "line_one();\n/* two\nthree */\n\"four\nfive\";\nline_six();";
+        let lexed = lex(src);
+        let six = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("line_six"))
+            .expect("token exists");
+        assert_eq!(six.line, 6);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// calls unwrap() on everything\nfn documented() {}";
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().all(|t| !t.is_ident("unwrap")));
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 1);
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_name() {
+        let src = "let r#type = 1; use_it(r#type);";
+        let names = idents(src);
+        assert!(names.contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_exponents() {
+        let src = "let a = 0xFF_u64; let b = 1.5e-3; let c = 1..4;";
+        let lexed = lex(src);
+        let nums: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0xFF_u64", "1.5e-3", "1", "4"]);
+    }
+}

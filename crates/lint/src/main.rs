@@ -1,0 +1,101 @@
+//! `svard-lint` command-line driver.
+//!
+//! ```text
+//! svard-lint [--root <dir>] [--json] [--update-baseline]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/config error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use svard_lint::{load_config, scan_workspace, Baseline, Level};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut update_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("svard-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--update-baseline" => update_baseline = true,
+            // Tolerate the habitual `cargo lint -- --flag` spelling even though
+            // the `lint` alias already ends with `--`.
+            "--" => {}
+            "--help" | "-h" => {
+                println!("usage: svard-lint [--root <dir>] [--json] [--update-baseline]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("svard-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let config = match load_config(&root) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("svard-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match scan_workspace(&root, &config) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("svard-lint: scan failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if update_baseline {
+        let baseline = Baseline {
+            counts: report.panic_counts.clone(),
+        };
+        let path = root.join(&config.baseline_path);
+        if let Err(err) = std::fs::write(&path, baseline.render()) {
+            eprintln!("svard-lint: cannot write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "svard-lint: baseline updated ({} files, {} sites)",
+            report.panic_counts.len(),
+            report.panic_counts.values().sum::<usize>()
+        );
+    }
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+    }
+
+    let errors = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.level == Level::Error)
+        .count();
+    let warnings = report.diagnostics.len() - errors;
+    eprintln!(
+        "svard-lint: {} files scanned, {errors} errors, {warnings} warnings",
+        report.files_scanned
+    );
+    if errors > 0 && !update_baseline {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,690 @@
+//! The lint rules, operating on the token stream of one file.
+//!
+//! * `determinism` (R1) — forbidden entropy/wall-clock sources and
+//!   order-dependent reductions over default-hasher `HashMap`/`HashSet`
+//!   iteration, in simulation crates.
+//! * `panic` (R2) — counts panic-capable sites (`unwrap()`, `expect()`,
+//!   `panic!`-family macros, direct indexing) in non-test library code; the
+//!   workspace runner ratchets the per-file counts against a baseline.
+//! * `hot-path-alloc` (R3) — allocation constructs inside `// lint: hot-path`
+//!   regions.
+//! * `no-unsafe` (R4) — any `unsafe` token, workspace-wide.
+//! * `bad-directive` — malformed `// lint:` directives (never suppressible).
+
+use crate::config::LintConfig;
+use crate::directives::{self, Directives};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Fails the lint run.
+    Error,
+    /// Reported but does not fail the run (e.g. a baseline that can shrink).
+    Warning,
+}
+
+/// One finding, printed as `file:line: rule: message`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule identifier.
+    pub rule: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Severity.
+    pub level: Level,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let tag = match self.level {
+            Level::Error => "",
+            Level::Warning => " (warning)",
+        };
+        write!(
+            f,
+            "{}:{}: {}: {}{tag}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// How one file should be analyzed.
+#[derive(Debug, Clone, Copy)]
+pub struct FileClass {
+    /// The determinism rule applies (file belongs to a simulation crate).
+    pub sim_crate: bool,
+    /// Panic-capable sites are counted for the ratchet (non-test library code;
+    /// `#[cfg(test)]` blocks inside such files are still excluded).
+    pub count_panics: bool,
+}
+
+/// A panic-capable site (used by the ratchet and by fixture tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicSite {
+    /// 1-based line.
+    pub line: u32,
+    /// What the site is (`unwrap()`, `indexing`, ...).
+    pub what: &'static str,
+}
+
+/// The analysis result for one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Rule findings (suppressions already applied).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Panic-capable sites that count toward the ratchet (empty unless
+    /// `count_panics`). Suppressed sites are excluded.
+    pub panic_sites: Vec<PanicSite>,
+}
+
+/// Keywords that can directly precede `[` without forming an index expression.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "become", "box", "break", "const", "continue", "crate", "do", "dyn",
+    "else", "enum", "extern", "fn", "for", "if", "impl", "in", "let", "loop", "macro", "match",
+    "mod", "move", "mut", "pub", "ref", "return", "static", "struct", "super", "trait", "try",
+    "type", "union", "unsafe", "use", "where", "while", "yield",
+];
+
+/// Iterator adapters over a map that expose iteration order.
+const MAP_ITERATORS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Order-sensitive reductions: applied to a `HashMap` iteration they make the
+/// result depend on hasher state.
+const ORDER_SENSITIVE: &[&str] = &[
+    "min_by",
+    "min_by_key",
+    "max_by",
+    "max_by_key",
+    "fold",
+    "reduce",
+    "position",
+    "find",
+    "find_map",
+    "last",
+    "nth",
+    "next",
+    "take",
+];
+
+/// Analyze one file's source text.
+pub fn analyze_source(
+    rel_path: &str,
+    source: &str,
+    class: FileClass,
+    config: &LintConfig,
+) -> FileReport {
+    let lexed = lex(source);
+    let dirs = directives::parse(&lexed.comments);
+    let tokens = &lexed.tokens;
+    let tests = test_ranges(tokens);
+    let mut report = FileReport::default();
+
+    for err in &dirs.errors {
+        report.diagnostics.push(Diagnostic {
+            file: rel_path.to_string(),
+            line: err.line,
+            rule: "bad-directive".to_string(),
+            message: err.message.clone(),
+            level: Level::Error,
+        });
+    }
+
+    let emit = |rule: &str, line: u32, message: String, out: &mut Vec<Diagnostic>| {
+        if !dirs.is_suppressed(rule, line) {
+            out.push(Diagnostic {
+                file: rel_path.to_string(),
+                line,
+                rule: rule.to_string(),
+                message,
+                level: Level::Error,
+            });
+        }
+    };
+
+    if config.rule_enabled("no-unsafe") {
+        for t in tokens {
+            if t.is_ident("unsafe") {
+                emit(
+                    "no-unsafe",
+                    t.line,
+                    "`unsafe` is forbidden workspace-wide".to_string(),
+                    &mut report.diagnostics,
+                );
+            }
+        }
+    }
+
+    if config.rule_enabled("determinism") && class.sim_crate {
+        check_forbidden_calls(tokens, config, rel_path, &dirs, &mut report.diagnostics);
+        check_map_iteration(tokens, rel_path, &dirs, &mut report.diagnostics);
+    }
+
+    if config.rule_enabled("hot-path-alloc") && !dirs.hot_paths.is_empty() {
+        check_hot_paths(tokens, config, rel_path, &dirs, &mut report.diagnostics);
+    }
+
+    if config.rule_enabled("panic") && class.count_panics {
+        for site in panic_sites(tokens, &tests) {
+            if !dirs.is_suppressed("panic", site.line) {
+                report.panic_sites.push(site);
+            }
+        }
+    }
+
+    report
+}
+
+/// Line ranges (inclusive) of items gated by `#[cfg(test)]`.
+fn test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct('(')
+            && tokens[i + 4].is_ident("test")
+            && tokens[i + 5].is_punct(')')
+            && tokens[i + 6].is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Find the gated item's opening brace, then its matching close.
+        let mut j = i + 7;
+        while j < tokens.len() && !tokens[j].is_punct('{') {
+            // A `;` first means the attribute gates a braceless item
+            // (e.g. `mod tests;`); nothing in this file to exclude.
+            if tokens[j].is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        if j >= tokens.len() || !tokens[j].is_punct('{') {
+            i = j;
+            continue;
+        }
+        let close = matching_brace(tokens, j);
+        ranges.push((tokens[i].line, tokens[close.min(tokens.len() - 1)].line));
+        i = close + 1;
+    }
+    ranges
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token on imbalance).
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+fn in_ranges(line: u32, ranges: &[(u32, u32)]) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// R2: every panic-capable site in non-test code.
+pub fn panic_sites(tokens: &[Token], test_ranges: &[(u32, u32)]) -> Vec<PanicSite> {
+    let mut sites = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if in_ranges(t.line, test_ranges) {
+            continue;
+        }
+        let next = tokens.get(i + 1);
+        let what = if t.kind == TokenKind::Ident {
+            match t.text.as_str() {
+                "unwrap" if next.is_some_and(|n| n.is_punct('(')) => Some("unwrap()"),
+                "expect" if next.is_some_and(|n| n.is_punct('(')) => Some("expect()"),
+                "panic" if next.is_some_and(|n| n.is_punct('!')) => Some("panic!"),
+                "unreachable" if next.is_some_and(|n| n.is_punct('!')) => Some("unreachable!"),
+                "todo" if next.is_some_and(|n| n.is_punct('!')) => Some("todo!"),
+                "unimplemented" if next.is_some_and(|n| n.is_punct('!')) => Some("unimplemented!"),
+                _ => None,
+            }
+        } else if t.is_punct('[') && i > 0 {
+            let prev = &tokens[i - 1];
+            let indexable = match prev.kind {
+                TokenKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+                TokenKind::Punct => prev.is_punct(')') || prev.is_punct(']') || prev.is_punct('?'),
+                _ => false,
+            };
+            if indexable {
+                Some("indexing")
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        if let Some(what) = what {
+            sites.push(PanicSite { line: t.line, what });
+        }
+    }
+    sites
+}
+
+/// R1a: forbidden wall-clock / entropy / environment calls.
+fn check_forbidden_calls(
+    tokens: &[Token],
+    config: &LintConfig,
+    rel_path: &str,
+    dirs: &Directives,
+    out: &mut Vec<Diagnostic>,
+) {
+    let patterns: Vec<Vec<&str>> = config
+        .forbidden_calls
+        .iter()
+        .map(|p| p.split("::").collect())
+        .collect();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        for (pat, raw) in patterns.iter().zip(&config.forbidden_calls) {
+            if matches_path(tokens, i, pat) && !dirs.is_suppressed("determinism", t.line) {
+                out.push(Diagnostic {
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    rule: "determinism".to_string(),
+                    message: format!(
+                        "`{raw}` is a nondeterministic input (wall clock / entropy / \
+                         environment) and is forbidden in simulation crates"
+                    ),
+                    level: Level::Error,
+                });
+            }
+        }
+    }
+}
+
+/// Does `tokens[i..]` spell the `::`-separated path `segments`?
+fn matches_path(tokens: &[Token], i: usize, segments: &[&str]) -> bool {
+    let mut pos = i;
+    for (s, seg) in segments.iter().enumerate() {
+        if s > 0 {
+            if !(tokens.get(pos).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(pos + 1).is_some_and(|t| t.is_punct(':')))
+            {
+                return false;
+            }
+            pos += 2;
+        }
+        if !tokens.get(pos).is_some_and(|t| t.is_ident(seg)) {
+            return false;
+        }
+        pos += 1;
+    }
+    true
+}
+
+/// R1b: order-dependent reductions over `HashMap`/`HashSet` iteration.
+fn check_map_iteration(
+    tokens: &[Token],
+    rel_path: &str,
+    dirs: &Directives,
+    out: &mut Vec<Diagnostic>,
+) {
+    let suspects = hash_container_names(tokens);
+    if suspects.is_empty() {
+        return;
+    }
+    let is_suspect = |t: &Token| t.kind == TokenKind::Ident && suspects.contains(&t.text);
+
+    let emit = |line: u32, name: &str, sink: &str, out: &mut Vec<Diagnostic>| {
+        if !dirs.is_suppressed("determinism", line) {
+            out.push(Diagnostic {
+                file: rel_path.to_string(),
+                line,
+                rule: "determinism".to_string(),
+                message: format!(
+                    "order-dependent `{sink}` over iteration of default-hasher map/set \
+                     `{name}`; use a BTreeMap/BTreeSet or an explicit deterministic \
+                     tie-break key"
+                ),
+                level: Level::Error,
+            });
+        }
+    };
+
+    for i in 0..tokens.len() {
+        // `name.iter()`-style chains followed by an order-sensitive adapter.
+        if is_suspect(&tokens[i])
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            && tokens.get(i + 2).is_some_and(|t| {
+                t.kind == TokenKind::Ident && MAP_ITERATORS.contains(&t.text.as_str())
+            })
+        {
+            if let Some((line, sink)) = order_sensitive_sink(tokens, i + 3) {
+                let _ = line;
+                emit(tokens[i].line, &tokens[i].text, sink, out);
+            }
+        }
+        // `for ... in <expr mentioning a suspect> { ... push ... }`.
+        if tokens[i].is_ident("for") {
+            if let Some((name, body_open)) = for_loop_over_suspect(tokens, i, &is_suspect) {
+                let body_close = matching_brace(tokens, body_open);
+                let body = &tokens[body_open..=body_close.min(tokens.len() - 1)];
+                if body.iter().any(|t| t.is_ident("push")) {
+                    emit(tokens[i].line, &name, "push-into-results loop", out);
+                }
+            }
+        }
+    }
+}
+
+/// Names bound to `HashMap`/`HashSet` in this file (fields, lets, struct init).
+fn hash_container_names(tokens: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    let is_hash = |t: &Token| t.is_ident("HashMap") || t.is_ident("HashSet");
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokenKind::Ident || KEYWORDS.contains(&tokens[i].text.as_str()) {
+            continue;
+        }
+        // `name: ... HashMap` (field declarations, typed lets, struct init) or
+        // `name = HashMap::...` (assignments). The window tolerates a
+        // fully-qualified `std::collections::HashMap`.
+        let after_colon = tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && !tokens.get(i + 2).is_some_and(|t| t.is_punct(':'));
+        let after_eq = tokens.get(i + 1).is_some_and(|t| t.is_punct('='))
+            && !tokens.get(i + 2).is_some_and(|t| t.is_punct('='));
+        if !(after_colon || after_eq) {
+            continue;
+        }
+        let window = tokens.iter().skip(i + 2).take(8);
+        let mut found = false;
+        for t in window {
+            if is_hash(t) {
+                found = true;
+                break;
+            }
+            // Stop at tokens that end the annotation/initializer head.
+            if t.is_punct(';') || t.is_punct(',') || t.is_punct(')') || t.is_punct('{') {
+                break;
+            }
+        }
+        if found && !names.contains(&tokens[i].text) {
+            names.push(tokens[i].text.clone());
+        }
+    }
+    names
+}
+
+/// From the token after a map-iterator call, scan the rest of the expression
+/// for an order-sensitive adapter. Returns the adapter's line and name.
+fn order_sensitive_sink(tokens: &[Token], from: usize) -> Option<(u32, &'static str)> {
+    let mut depth = 0i32;
+    for t in tokens.iter().skip(from).take(150) {
+        match t.kind {
+            TokenKind::Punct => match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        // End of the enclosing call: the chain is over.
+                        return None;
+                    }
+                }
+                ";" | "{" if depth == 0 => return None,
+                _ => {}
+            },
+            TokenKind::Ident => {
+                if let Some(&sink) = ORDER_SENSITIVE.iter().find(|&&s| t.text == s) {
+                    return Some((t.line, sink));
+                }
+                // `collect` into a Vec preserves (arbitrary) iteration order.
+                if t.text == "collect" {
+                    return Some((t.line, "collect"));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// If `tokens[for_idx]` starts a `for ... in <expr> {` whose iterated
+/// expression mentions a suspect map, return the map name and the index of the
+/// loop body's `{`.
+fn for_loop_over_suspect(
+    tokens: &[Token],
+    for_idx: usize,
+    is_suspect: &dyn Fn(&Token) -> bool,
+) -> Option<(String, usize)> {
+    // Find `in` (skipping the pattern, which may contain parens/brackets).
+    let mut j = for_idx + 1;
+    let mut guard = 0;
+    while j < tokens.len() && !tokens[j].is_ident("in") {
+        j += 1;
+        guard += 1;
+        if guard > 40 {
+            return None;
+        }
+    }
+    // Scan the iterated expression up to the body `{` at depth 0.
+    let mut name = None;
+    let mut depth = 0i32;
+    let mut k = j + 1;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth == 0 {
+            return name.map(|n| (n, k));
+        } else if is_suspect(t) && name.is_none() {
+            name = Some(t.text.clone());
+        }
+        k += 1;
+    }
+    None
+}
+
+/// R3: banned allocation constructs inside hot-path regions.
+fn check_hot_paths(
+    tokens: &[Token],
+    config: &LintConfig,
+    rel_path: &str,
+    dirs: &Directives,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !dirs.in_hot_path(t.line) {
+            continue;
+        }
+        for ban in &config.hot_path_bans {
+            let hit = if let Some(mac) = ban.strip_suffix('!') {
+                t.is_ident(mac) && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            } else if ban.contains("::") {
+                let segments: Vec<&str> = ban.split("::").collect();
+                matches_path(tokens, i, &segments)
+            } else {
+                // Bare method name: `x.clone()` or `collect::<Vec<_>>()`.
+                t.is_ident(ban)
+                    && (tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+                        || (tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                            && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))))
+            };
+            if hit && !dirs.is_suppressed("hot-path-alloc", t.line) {
+                out.push(Diagnostic {
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    rule: "hot-path-alloc".to_string(),
+                    message: format!("`{ban}` allocates inside a `lint: hot-path` region"),
+                    level: Level::Error,
+                });
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(source: &str, sim: bool, panics: bool) -> FileReport {
+        analyze_source(
+            "test.rs",
+            source,
+            FileClass {
+                sim_crate: sim,
+                count_panics: panics,
+            },
+            &LintConfig::default(),
+        )
+    }
+
+    #[test]
+    fn unsafe_is_flagged_everywhere() {
+        let r = analyze(
+            "fn f() { unsafe { std::hint::unreachable_unchecked() } }",
+            false,
+            false,
+        );
+        assert!(r.diagnostics.iter().any(|d| d.rule == "no-unsafe"));
+    }
+
+    #[test]
+    fn unsafe_in_a_string_is_not_flagged() {
+        let r = analyze(r#"fn f() -> &'static str { "unsafe" }"#, false, false);
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn instant_now_flagged_in_sim_crates_only() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert!(analyze(src, true, false)
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "determinism"));
+        assert!(analyze(src, false, false).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn hashmap_min_by_key_is_flagged() {
+        let src = "struct S { rcc: HashMap<u64, u64> }\n\
+                   impl S { fn f(&self) { let _ = self.rcc.iter().min_by_key(|x| x.1); } }";
+        let r = analyze(src, true, false);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].line, 2);
+    }
+
+    #[test]
+    fn btreemap_min_by_key_is_fine() {
+        let src = "struct S { rcc: BTreeMap<u64, u64> }\n\
+                   impl S { fn f(&self) { let _ = self.rcc.iter().min_by_key(|x| x.1); } }";
+        assert!(analyze(src, true, false).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn hashmap_entry_access_is_fine() {
+        let src = "struct S { counts: HashMap<u64, u64> }\n\
+                   impl S { fn f(&mut self) { *self.counts.entry(1).or_insert(0) += 1; } }";
+        assert!(analyze(src, true, false).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn for_loop_pushing_from_hashmap_is_flagged() {
+        let src = "fn f(m: HashMap<u32, u32>) -> Vec<u32> {\n\
+                   let mut out = Vec::new();\n\
+                   for (k, _) in &m { out.push(*k); }\n\
+                   out }";
+        let r = analyze(src, true, false);
+        assert!(r.diagnostics.iter().any(|d| d.line == 3));
+    }
+
+    #[test]
+    fn for_loop_clearing_hashmap_values_is_fine() {
+        let src = "fn f(m: &mut HashMap<u32, Vec<u32>>) {\n\
+                   for v in m.values_mut() { v.clear(); } }";
+        assert!(analyze(src, true, false).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn panic_sites_are_counted_with_lines() {
+        let src = "fn f(v: &[u32]) -> u32 {\n\
+                   let a = v.first().unwrap();\n\
+                   let b = v[0];\n\
+                   if *a > 1 { panic!(\"boom\") }\n\
+                   *a + b }";
+        let r = analyze(src, false, true);
+        let lines: Vec<u32> = r.panic_sites.iter().map(|s| s.line).collect();
+        assert_eq!(lines, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn test_module_panics_are_not_counted() {
+        let src = "fn lib() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   #[test] fn t() { Some(1).unwrap(); }\n\
+                   }";
+        let r = analyze(src, false, true);
+        assert!(r.panic_sites.is_empty());
+    }
+
+    #[test]
+    fn suppressed_panic_sites_are_not_counted() {
+        let src = "fn f(v: &[u32]) -> u32 {\n\
+                   // lint: allow(panic) -- bounds checked by caller\n\
+                   v[0] }";
+        let r = analyze(src, false, true);
+        assert!(r.panic_sites.is_empty());
+    }
+
+    #[test]
+    fn attribute_brackets_are_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S { x: [u8; 4] }\nfn f() -> [u8; 2] { [0, 1] }";
+        let r = analyze(src, false, true);
+        assert!(r.panic_sites.is_empty(), "{:?}", r.panic_sites);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_a_panic_site() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }";
+        assert!(analyze(src, false, true).panic_sites.is_empty());
+    }
+
+    #[test]
+    fn hot_path_bans_fire_only_inside_regions() {
+        let src = "fn cold() -> Vec<u32> { Vec::new() }\n\
+                   // lint: hot-path\n\
+                   fn hot() -> Vec<u32> { let x = Vec::new(); x }\n\
+                   // lint: end-hot-path\n\
+                   fn cold2() -> String { format!(\"x\") }";
+        let r = analyze(src, false, false);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].line, 3);
+        assert_eq!(r.diagnostics[0].rule, "hot-path-alloc");
+    }
+
+    #[test]
+    fn derive_clone_in_hot_region_is_not_a_clone_call() {
+        let src = "// lint: hot-path\n#[derive(Clone)]\nstruct S;\n// lint: end-hot-path";
+        assert!(analyze(src, false, false).diagnostics.is_empty());
+    }
+}

@@ -1,0 +1,7 @@
+//! Bad-directive fixture: a suppression without a `-- reason` is itself an
+//! error, and does not suppress anything.
+
+pub fn nope(values: &[u64]) -> u64 {
+    // lint: allow(panic)
+    values[0]
+}

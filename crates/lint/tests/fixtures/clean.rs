@@ -1,0 +1,16 @@
+//! Clean fixture: deterministic, panic-free patterns that must produce no
+//! findings even with every rule applied.
+
+use std::collections::BTreeMap;
+
+pub fn hottest(counts: &BTreeMap<usize, u64>) -> Option<usize> {
+    counts.iter().min_by_key(|(_, &c)| c).map(|(&r, _)| r)
+}
+
+pub fn entry_only(tally: &mut std::collections::HashMap<usize, u64>) {
+    *tally.entry(7).or_insert(0) += 1;
+}
+
+pub fn safe_access(values: &[u64]) -> u64 {
+    values.first().copied().unwrap_or(0)
+}

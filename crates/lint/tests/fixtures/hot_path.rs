@@ -1,0 +1,22 @@
+//! Hot-path fixture: allocations inside the fenced region are flagged;
+//! identical constructs outside the fence are not.
+
+pub fn cold() -> Vec<String> {
+    let mut out = Vec::new();
+    out.push(format!("cold code may allocate"));
+    out
+}
+
+// lint: hot-path
+pub fn hot(buf: &mut Vec<u64>, x: u64) {
+    let scratch: Vec<u64> = Vec::new(); // flagged (line 12)
+    let label = format!("x = {x}"); // flagged (line 13)
+    let copy = buf.clone(); // flagged (line 14)
+    buf.push(x);
+    drop((scratch, label, copy));
+}
+// lint: end-hot-path
+
+pub fn cold_again() -> String {
+    String::new()
+}

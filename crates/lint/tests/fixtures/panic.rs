@@ -1,0 +1,24 @@
+//! Panic-ratchet fixture: counted sites are marked by line; the suppressed
+//! site and the `#[cfg(test)]` block must not be counted.
+
+pub fn counted(values: &[u64], index: usize) -> u64 {
+    let first = values.first().unwrap(); // counted (line 5)
+    let second = values.get(1).expect("fixture"); // counted (line 6)
+    if index >= values.len() {
+        panic!("out of range"); // counted (line 8)
+    }
+    first + second + values[index] // counted (line 10)
+}
+
+pub fn suppressed(values: &[u64]) -> u64 {
+    // lint: allow(panic) -- fixture: suppressed sites leave the ratchet
+    values[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_free() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,11 @@
+//! No-unsafe fixture: the token is flagged anywhere in real code, but not in
+//! strings or comments.
+
+pub fn escape_hatch(p: *const u8) -> u8 {
+    unsafe { *p } // flagged (line 5)
+}
+
+pub fn mentioned() -> &'static str {
+    // the word unsafe in a comment is fine
+    "unsafe in a string is fine"
+}

@@ -1,0 +1,34 @@
+//! The workspace gate: `svard-lint` must be clean over the live repository.
+//! This runs as part of tier-1 `cargo test`, so a regression that introduces
+//! nondeterministic inputs, new panic sites, hot-path allocations, or `unsafe`
+//! fails the ordinary test suite — no separate CI wiring required.
+
+use std::path::Path;
+
+use svard_lint::{load_config, scan_workspace, Level};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = load_config(&root).expect("lint.toml parses");
+    let report = scan_workspace(&root, &config).expect("workspace scan succeeds");
+    let errors: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.level == Level::Error)
+        .map(|d| d.to_string())
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "svard-lint found {} error(s):\n{}",
+        errors.len(),
+        errors.join("\n")
+    );
+    // Sanity-check the scan actually walked the workspace rather than an
+    // empty or wrong directory.
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}

@@ -242,7 +242,10 @@ impl MemorySystem {
         let mut min_remaining = u64::MAX;
         let mut i = 0;
         while i < self.in_flight.len() {
-            if self.in_flight[i].1 <= cycle {
+            let Some(&(_, due)) = self.in_flight.get(i) else {
+                break;
+            };
+            if due <= cycle {
                 let (req, completion) = self.in_flight.swap_remove(i);
                 match req.kind {
                     RequestKind::Read => {
@@ -259,7 +262,7 @@ impl MemorySystem {
                     arrival_cycle: req.arrival_cycle,
                 });
             } else {
-                min_remaining = min_remaining.min(self.in_flight[i].1);
+                min_remaining = min_remaining.min(due);
                 i += 1;
             }
         }
@@ -303,8 +306,8 @@ impl MemorySystem {
                 &self.read_queue
             };
             for req in queue {
-                let bank = &self.banks[req.flat_bank];
-                let rank = &self.ranks[req.rank_idx];
+                let bank = self.bank_at(req.flat_bank);
+                let rank = self.rank_at(req.rank_idx);
                 let mut c = bank.ready_cycle.max(rank.refresh_busy_until);
                 if check_throttles {
                     if let Some(&until) = self.throttled.get(&(req.flat_bank, req.dram_addr.row)) {
@@ -374,6 +377,7 @@ impl MemorySystem {
         out
     }
 
+    // lint: hot-path
     /// Advance over `n` cycles known to be dead (strictly before the next event),
     /// updating the per-cycle statistics exactly as `n` individual ticks would.
     fn skip_dead_cycles(&mut self, n: u64) {
@@ -507,8 +511,8 @@ impl MemorySystem {
             let mut earliest_candidate = u64::MAX;
             for (idx, req) in queue.iter().enumerate() {
                 let row = req.dram_addr.row;
-                let bank = &self.banks[req.flat_bank];
-                let rank = &self.ranks[req.rank_idx];
+                let bank = self.bank_at(req.flat_bank);
+                let rank = self.rank_at(req.rank_idx);
                 let is_hit = bank.is_open(row);
                 if bank.ready_cycle > self.cycle || rank.refresh_busy_until > self.cycle {
                     if best_any.is_none() {
@@ -541,14 +545,15 @@ impl MemorySystem {
                 self.no_schedule_before = earliest_candidate;
                 return;
             };
-            let req = if from_writes {
-                self.write_queue
-                    .remove(chosen)
-                    .expect("chosen index in range")
+            let queue = if from_writes {
+                &mut self.write_queue
             } else {
-                self.read_queue
-                    .remove(chosen)
-                    .expect("chosen index in range")
+                &mut self.read_queue
+            };
+            // `chosen` came from enumerating this queue above, so `remove`
+            // cannot miss; a defensive `return` beats a panic in library code.
+            let Some(req) = queue.remove(chosen) else {
+                return;
             };
             self.no_schedule_before = 0;
             self.issue(req);
@@ -571,8 +576,8 @@ impl MemorySystem {
             let bank_idx = req.flat_bank;
             let row = req.dram_addr.row;
             let arrival = req.arrival_cycle;
-            let bank = &self.banks[bank_idx];
-            let rank = &self.ranks[req.rank_idx];
+            let bank = self.bank_at(bank_idx);
+            let rank = self.rank_at(req.rank_idx);
 
             let mut candidate = bank.ready_cycle.max(rank.refresh_busy_until);
             if check_throttles {
@@ -621,19 +626,49 @@ impl MemorySystem {
             self.no_schedule_before = earliest_candidate;
             return;
         };
-        let req = if from_writes {
-            self.write_queue
-                .remove(chosen)
-                .expect("chosen index in range")
+        let queue = if from_writes {
+            &mut self.write_queue
         } else {
-            self.read_queue
-                .remove(chosen)
-                .expect("chosen index in range")
+            &mut self.read_queue
+        };
+        // `chosen` came from enumerating this queue above, so `remove` cannot
+        // miss; a defensive `return` beats a panic in library code.
+        let Some(req) = queue.remove(chosen) else {
+            return;
         };
         // Issuing changes bank and rank state (and may open a row), which can
         // make other requests schedulable immediately.
         self.no_schedule_before = 0;
         self.issue(req);
+    }
+
+    // ------------------------------------------------------------------
+    // Checked internal accessors
+    //
+    // `flat_bank` / `rank_idx` are stamped onto every request by `enqueue`
+    // via `geometry.flatten_bank`, which always yields in-range indices;
+    // `bank_index_of`/`rank_index_of` fall back to the (valid) origin index.
+    // All bank/rank indexing funnels through these four sites.
+    // ------------------------------------------------------------------
+
+    fn bank_at(&self, idx: usize) -> &BankTiming {
+        // lint: allow(panic) -- flat_bank stamped by enqueue is in range by construction
+        &self.banks[idx]
+    }
+
+    fn bank_at_mut(&mut self, idx: usize) -> &mut BankTiming {
+        // lint: allow(panic) -- flat_bank stamped by enqueue is in range by construction
+        &mut self.banks[idx]
+    }
+
+    fn rank_at(&self, idx: usize) -> &RankTiming {
+        // lint: allow(panic) -- rank_idx stamped by enqueue is in range by construction
+        &self.ranks[idx]
+    }
+
+    fn rank_at_mut(&mut self, idx: usize) -> &mut RankTiming {
+        // lint: allow(panic) -- rank_idx stamped by enqueue is in range by construction
+        &mut self.ranks[idx]
     }
 
     fn issue(&mut self, req: MemoryRequest) {
@@ -643,8 +678,8 @@ impl MemorySystem {
         let row = req.dram_addr.row;
         let cycle = self.cycle;
 
-        let is_hit = self.banks[bank_idx].is_open(row);
-        let needs_conflict_pre = !is_hit && self.banks[bank_idx].open_row.is_some();
+        let is_hit = self.bank_at(bank_idx).is_open(row);
+        let needs_conflict_pre = !is_hit && self.bank_at(bank_idx).open_row.is_some();
 
         // Time at which the column command can issue.
         let mut col_issue = cycle;
@@ -652,19 +687,22 @@ impl MemorySystem {
             let mut act_cycle = cycle;
             if needs_conflict_pre {
                 // Respect tRAS before precharging, then pay tRP.
-                let pre_cycle = cycle.max(self.banks[bank_idx].last_act_cycle + t.t_ras);
+                let pre_cycle = cycle.max(self.bank_at(bank_idx).last_act_cycle + t.t_ras);
                 act_cycle = pre_cycle + t.t_rp;
                 self.stats.row_conflicts += 1;
             } else {
                 self.stats.row_misses += 1;
             }
-            act_cycle =
-                act_cycle.max(self.ranks[rank_idx].next_act_allowed_cycles(t.t_rrd_l, t.t_faw));
-            self.ranks[rank_idx].record_act(act_cycle);
-            self.banks[bank_idx].open_row = Some(row);
-            self.banks[bank_idx].last_act_cycle = act_cycle;
-            self.banks[bank_idx].consecutive_hits = 0;
-            self.banks[bank_idx].activations += 1;
+            act_cycle = act_cycle.max(
+                self.rank_at(rank_idx)
+                    .next_act_allowed_cycles(t.t_rrd_l, t.t_faw),
+            );
+            self.rank_at_mut(rank_idx).record_act(act_cycle);
+            let bank = self.bank_at_mut(bank_idx);
+            bank.open_row = Some(row);
+            bank.last_act_cycle = act_cycle;
+            bank.consecutive_hits = 0;
+            bank.activations += 1;
             self.stats.activations += 1;
             col_issue = act_cycle + t.t_rcd;
 
@@ -680,7 +718,7 @@ impl MemorySystem {
             self.action_scratch = actions;
         } else {
             self.stats.row_hits += 1;
-            self.banks[bank_idx].consecutive_hits += 1;
+            self.bank_at_mut(bank_idx).consecutive_hits += 1;
         }
 
         let col_latency = match req.kind {
@@ -694,7 +732,7 @@ impl MemorySystem {
         // precharged before tRAS/tWR expire; occupy it conservatively to the column
         // issue plus tCCD.
         let bank_next = (col_issue + t.t_ccd_l).max(cycle + 1);
-        self.banks[bank_idx].occupy_until(bank_next);
+        self.bank_at_mut(bank_idx).occupy_until(bank_next);
         self.in_flight_min_completion = self.in_flight_min_completion.min(completion);
         self.in_flight.push((req, completion));
     }
@@ -717,9 +755,9 @@ impl MemorySystem {
                     // Credit the refresh ACT to the rank that actually owns the
                     // target bank (it may differ from the activating rank).
                     let rank_idx = self.rank_index_of(bank).unwrap_or(origin_rank_idx);
-                    let start = self.banks[idx].ready_cycle.max(act_cycle);
-                    self.banks[idx].occupy_until(start + t.t_rc);
-                    self.ranks[rank_idx].record_act(start);
+                    let start = self.bank_at(idx).ready_cycle.max(act_cycle);
+                    self.bank_at_mut(idx).occupy_until(start + t.t_rc);
+                    self.rank_at_mut(rank_idx).record_act(start);
                     self.stats.preventive_refreshes += 1;
                 }
                 PreventiveAction::ThrottleRow {
@@ -732,23 +770,26 @@ impl MemorySystem {
                 }
                 PreventiveAction::MigrateRow { bank, .. } => {
                     let idx = self.bank_index_of(bank).unwrap_or(origin_bank_idx);
-                    let start = self.banks[idx].ready_cycle.max(act_cycle);
-                    self.banks[idx].occupy_until(start + migration_cost);
-                    self.banks[idx].open_row = None;
+                    let b = self.bank_at_mut(idx);
+                    let start = b.ready_cycle.max(act_cycle);
+                    b.occupy_until(start + migration_cost);
+                    b.open_row = None;
                     self.stats.row_migrations += 1;
                 }
                 PreventiveAction::SwapRows { bank, .. } => {
                     let idx = self.bank_index_of(bank).unwrap_or(origin_bank_idx);
-                    let start = self.banks[idx].ready_cycle.max(act_cycle);
-                    self.banks[idx].occupy_until(start + 2 * migration_cost);
-                    self.banks[idx].open_row = None;
+                    let b = self.bank_at_mut(idx);
+                    let start = b.ready_cycle.max(act_cycle);
+                    b.occupy_until(start + 2 * migration_cost);
+                    b.open_row = None;
                     self.stats.row_swaps += 1;
                 }
                 PreventiveAction::ExtraTraffic { bank, accesses } => {
                     let idx = self.bank_index_of(bank).unwrap_or(origin_bank_idx);
-                    let start = self.banks[idx].ready_cycle.max(act_cycle);
                     let cost = t.t_rc + accesses as u64 * t.t_ccd_l;
-                    self.banks[idx].occupy_until(start + cost);
+                    let b = self.bank_at_mut(idx);
+                    let start = b.ready_cycle.max(act_cycle);
+                    b.occupy_until(start + cost);
                     self.stats.extra_accesses += accesses as u64;
                 }
             }
@@ -761,6 +802,7 @@ impl MemorySystem {
             self.throttled.retain(|_, &mut until| until > cycle);
         }
     }
+    // lint: end-hot-path
 
     fn bank_index_of(&self, bank: BankId) -> Option<usize> {
         let g = &self.config.geometry;

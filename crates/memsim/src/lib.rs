@@ -42,6 +42,9 @@
 //! assert_eq!(done.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod actions;
 pub mod bank;
 pub mod config;

@@ -17,6 +17,9 @@
 //! deterministic per-point seeding, so sweeps scale with core count while
 //! producing bit-identical results to a serial, per-cycle run.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod config;
 pub mod parallel;
 pub mod runner;

@@ -11,6 +11,7 @@ use std::sync::Mutex;
 
 /// The default worker count: one per available hardware thread.
 pub fn default_threads() -> usize {
+    // lint: allow(determinism) -- worker count never affects results: outputs land in input slots, so every reduction is bit-identical for any thread count
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
@@ -36,15 +37,19 @@ where
                 if i >= n {
                     break;
                 }
+                // lint: allow(panic) -- i < n is checked above and slots hold n entries
                 let r = f(i, &items[i]);
+                // lint: allow(panic) -- lock is poisoned only if a worker panicked; propagating that panic is correct
                 results.lock().unwrap()[i] = Some(r);
             });
         }
     });
     results
         .into_inner()
+        // lint: allow(panic) -- poisoned only if a worker panicked; propagating is correct
         .unwrap()
         .into_iter()
+        // lint: allow(panic) -- the claim counter hands out every index below n exactly once
         .map(|r| r.expect("every task ran"))
         .collect()
 }

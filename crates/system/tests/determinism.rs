@@ -1,0 +1,77 @@
+//! Double-run determinism regression: the same defense configuration simulated
+//! twice must produce bit-identical results — per-core IPC, every `MemStats`
+//! counter, and the cycle count.
+//!
+//! This is the dynamic counterpart of `svard-lint`'s static `determinism`
+//! rule. It exists because Hydra's RCC eviction once took `min_by_key` over a
+//! `HashMap` iteration: the LRU tie-break then depended on hasher state, so
+//! two runs of the identical configuration could evict different rows and
+//! diverge. The static rule now rejects that pattern; this test catches any
+//! hazard class the lexical heuristics miss.
+
+use std::sync::Arc;
+
+use svard_cpusim::workload::WorkloadMix;
+use svard_defenses::provider::UniformThreshold;
+use svard_defenses::DefenseKind;
+use svard_system::runner::{run_mix, run_mix_percycle};
+use svard_system::SystemConfig;
+
+fn small_config() -> svard_system::SystemConfig {
+    let mut config = SystemConfig::tiny();
+    config.memory.geometry.rows_per_bank = 512;
+    config
+}
+
+/// Every `DefenseKind`, run twice from identical inputs, yields an identical
+/// `RunResult` (which includes `MemStats` field by field).
+#[test]
+fn every_defense_is_deterministic_across_runs() {
+    let config = small_config();
+    let mix = &WorkloadMix::generate(1, config.cores, 77)[0];
+    let rows = config.memory.geometry.rows_per_bank;
+
+    for defense in DefenseKind::ALL {
+        // A tight threshold keeps the defense busy enough to exercise its
+        // tracker state (Hydra's RCC eviction needs > group-threshold traffic).
+        let provider = Arc::new(UniformThreshold::new(48));
+        let first = run_mix(mix, &config, defense.build(provider.clone(), rows, 7));
+        let second = run_mix(mix, &config, defense.build(provider.clone(), rows, 7));
+        assert_eq!(
+            first, second,
+            "{defense}: two runs of the same configuration diverged"
+        );
+        assert!(first.cycles > 0, "{defense}: simulation did not run");
+    }
+}
+
+/// Determinism also holds across the two simulation modes: fast-forwarding is
+/// not allowed to change results, only wall-clock time.
+#[test]
+fn fastforward_and_percycle_agree_for_every_defense() {
+    let config = small_config();
+    let mix = &WorkloadMix::generate(1, config.cores, 78)[0];
+    let rows = config.memory.geometry.rows_per_bank;
+
+    for defense in DefenseKind::ALL {
+        let provider = Arc::new(UniformThreshold::new(48));
+        let fast = run_mix(mix, &config, defense.build(provider.clone(), rows, 9));
+        let reference = run_mix_percycle(mix, &config, defense.build(provider.clone(), rows, 9));
+        assert_eq!(fast, reference, "{defense}: fast-forward diverged");
+    }
+}
+
+/// A fresh `WorkloadMix` from the same seed is identical — the workload
+/// generator itself is part of the deterministic contract.
+#[test]
+fn workload_generation_is_deterministic() {
+    let a = WorkloadMix::generate(3, 4, 1234);
+    let b = WorkloadMix::generate(3, 4, 1234);
+    assert_eq!(a.len(), b.len());
+    for (ma, mb) in a.iter().zip(&b) {
+        assert_eq!(ma.workloads.len(), mb.workloads.len());
+        for (wa, wb) in ma.workloads.iter().zip(&mb.workloads) {
+            assert_eq!(format!("{wa:?}"), format!("{wb:?}"));
+        }
+    }
+}

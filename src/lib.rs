@@ -35,6 +35,9 @@
 //! drop(provider);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use svard_analysis as analysis;
 pub use svard_bender as bender;
 pub use svard_chip as chip;

@@ -7,6 +7,9 @@
 //! line per benchmark. It is good enough to compare orders of magnitude and to
 //! track the perf trajectory across PRs; it does not do criterion's statistics.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use std::time::{Duration, Instant};
 
 /// Benchmark driver. Holds measurement settings.

@@ -7,6 +7,9 @@
 //! fast, statistically solid PRNG. Streams are deterministic per seed (which is
 //! all the simulators rely on) but do not bit-match upstream `rand`.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 /// A source of random 64-bit words.
 pub trait RngCore {
     /// Next 64 random bits.
