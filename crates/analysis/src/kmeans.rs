@@ -32,8 +32,12 @@ pub fn kmeans_1d(points: &[f64], k: usize, seed: u64, max_iters: usize) -> KMean
     let mut rng = StdRng::seed_from_u64(seed);
 
     // k-means++ initialization.
+    let pick = |rng: &mut StdRng| {
+        let i = rng.random_range(0..points.len());
+        points.get(i).copied().unwrap_or(0.0)
+    };
     let mut centroids = Vec::with_capacity(k);
-    centroids.push(points[rng.random_range(0..points.len())]);
+    centroids.push(pick(&mut rng));
     while centroids.len() < k {
         let dists: Vec<f64> = points
             .iter()
@@ -47,51 +51,53 @@ pub fn kmeans_1d(points: &[f64], k: usize, seed: u64, max_iters: usize) -> KMean
         let total: f64 = dists.iter().sum();
         if total <= 0.0 {
             // All remaining points coincide with existing centroids.
-            centroids.push(points[rng.random_range(0..points.len())]);
+            centroids.push(pick(&mut rng));
             continue;
         }
         let mut target = rng.random::<f64>() * total;
-        let mut chosen = points.len() - 1;
-        for (i, &d) in dists.iter().enumerate() {
+        let mut chosen = points.last().copied().unwrap_or(0.0);
+        for (&p, &d) in points.iter().zip(&dists) {
             if target <= d {
-                chosen = i;
+                chosen = p;
                 break;
             }
             target -= d;
         }
-        centroids.push(points[chosen]);
+        centroids.push(chosen);
     }
 
     let mut assignments = vec![0usize; points.len()];
     for _ in 0..max_iters {
-        // Assignment step.
+        // Assignment step: nearest centroid, first index winning ties (the
+        // same tie-break `min_by` over squared distances used).
         let mut changed = false;
-        for (i, &p) in points.iter().enumerate() {
-            let best = centroids
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    ((p - *a) * (p - *a))
-                        .partial_cmp(&((p - *b) * (p - *b)))
-                        .unwrap()
-                })
-                .map(|(j, _)| j)
-                .unwrap();
-            if assignments[i] != best {
-                assignments[i] = best;
+        for (slot, &p) in assignments.iter_mut().zip(points) {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (j, &c) in centroids.iter().enumerate() {
+                let d = (p - c) * (p - c);
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+            if *slot != best {
+                *slot = best;
                 changed = true;
             }
         }
         // Update step.
         let mut sums = vec![0.0; k];
         let mut counts = vec![0usize; k];
-        for (i, &p) in points.iter().enumerate() {
-            sums[assignments[i]] += p;
-            counts[assignments[i]] += 1;
+        for (&a, &p) in assignments.iter().zip(points) {
+            if let (Some(s), Some(c)) = (sums.get_mut(a), counts.get_mut(a)) {
+                *s += p;
+                *c += 1;
+            }
         }
-        for j in 0..k {
-            if counts[j] > 0 {
-                centroids[j] = sums[j] / counts[j] as f64;
+        for ((c, &s), &n) in centroids.iter_mut().zip(&sums).zip(&counts) {
+            if n > 0 {
+                *c = s / n as f64;
             }
         }
         if !changed {
@@ -101,9 +107,9 @@ pub fn kmeans_1d(points: &[f64], k: usize, seed: u64, max_iters: usize) -> KMean
 
     let inertia = points
         .iter()
-        .enumerate()
-        .map(|(i, &p)| {
-            let c = centroids[assignments[i]];
+        .zip(&assignments)
+        .map(|(&p, &a)| {
+            let c = centroids.get(a).copied().unwrap_or(0.0);
             (p - c) * (p - c)
         })
         .sum();
@@ -128,12 +134,16 @@ pub fn silhouette_score_1d(points: &[f64], assignments: &[usize]) -> f64 {
     }
     // Group points per cluster.
     let mut clusters: Vec<Vec<f64>> = vec![Vec::new(); k];
-    for (i, &a) in assignments.iter().enumerate() {
-        clusters[a].push(points[i]);
+    for (&a, &p) in assignments.iter().zip(points) {
+        if let Some(cluster) = clusters.get_mut(a) {
+            cluster.push(p);
+        }
     }
     let mut total = 0.0;
-    for (i, &p) in points.iter().enumerate() {
-        let own = &clusters[assignments[i]];
+    for (&p, &mine) in points.iter().zip(assignments) {
+        let Some(own) = clusters.get(mine) else {
+            continue;
+        };
         if own.len() <= 1 {
             continue; // silhouette of a singleton is 0
         }
@@ -143,7 +153,7 @@ pub fn silhouette_score_1d(points: &[f64], assignments: &[usize]) -> f64 {
         let b = clusters
             .iter()
             .enumerate()
-            .filter(|(j, c)| *j != assignments[i] && !c.is_empty())
+            .filter(|(j, c)| *j != mine && !c.is_empty())
             .map(|(_, c)| c.iter().map(|&q| (p - q).abs()).sum::<f64>() / c.len() as f64)
             .fold(f64::INFINITY, f64::min);
         if b.is_finite() {

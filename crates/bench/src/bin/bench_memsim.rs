@@ -5,11 +5,16 @@
 //! `BENCH_memsim.json` so the speedup is tracked across PRs.
 //!
 //! Usage: `cargo run --release -p svard-bench --bin bench_memsim [--out PATH]`
+//!
+//! `--check` compares the live fast-vs-percycle speedups against the committed
+//! `BENCH_memsim.json` instead of overwriting it, and exits nonzero if either
+//! ratio regressed by more than 15% — the CI perf gate. `--trace PATH` writes
+//! the sweep's canonical event trace as JSON lines.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use svard_bench::{arg_string, arg_u64, arg_usize};
+use svard_bench::{arg_flag, arg_string, arg_u64, arg_usize};
 use svard_cpusim::workload::WorkloadMix;
 use svard_defenses::provider::{SharedThresholdProvider, UniformThreshold};
 use svard_defenses::DefenseKind;
@@ -55,10 +60,8 @@ fn time_it<R>(mut f: impl FnMut() -> R) -> f64 {
     samples[1]
 }
 
-fn fig12_sweep(config: &SystemConfig, mixes: &[WorkloadMix], threads: usize, mode: SimMode) {
-    let harness =
-        EvaluationHarness::with_threads_and_mode(config.clone(), mixes.to_vec(), threads, mode);
-    let points: Vec<SweepPoint> = [DefenseKind::Para, DefenseKind::Hydra]
+fn fig12_points() -> Vec<SweepPoint> {
+    [DefenseKind::Para, DefenseKind::Hydra]
         .iter()
         .flat_map(|&defense| {
             [64u64, 4096].iter().map(move |&hc| SweepPoint {
@@ -67,8 +70,26 @@ fn fig12_sweep(config: &SystemConfig, mixes: &[WorkloadMix], threads: usize, mod
                 hc_first: hc,
             })
         })
-        .collect();
-    std::hint::black_box(harness.evaluate_all(&points));
+        .collect()
+}
+
+fn fig12_sweep(config: &SystemConfig, mixes: &[WorkloadMix], threads: usize, mode: SimMode) {
+    let harness =
+        EvaluationHarness::with_threads_and_mode(config.clone(), mixes.to_vec(), threads, mode);
+    std::hint::black_box(harness.evaluate_all(&fig12_points()));
+}
+
+/// The `"speedup"` value recorded under `section` in a `BENCH_memsim.json`
+/// document (sections never nest, so a plain scan from the section key works).
+fn recorded_speedup(json: &str, section: &str) -> Option<f64> {
+    let start = json.find(&format!("\"{section}\""))?;
+    let rest = json.get(start..)?;
+    let key = "\"speedup\":";
+    let after = rest.get(rest.find(key)? + key.len()..)?;
+    let end = after
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == ' '))
+        .unwrap_or(after.len());
+    after.get(..end)?.trim().parse().ok()
 }
 
 fn main() {
@@ -105,6 +126,60 @@ fn main() {
     eprintln!(
         "#   fast {t_sweep_fast:.3}s ({threads} threads)  percycle-serial {t_sweep_slow:.3}s  speedup {sweep_speedup:.2}x"
     );
+
+    // CI perf gate: compare the live ratios against the committed numbers and
+    // leave the file untouched.
+    if arg_flag("check") {
+        let committed = match std::fs::read_to_string(&out_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("# --check: cannot read {out_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut failed = false;
+        for (section, live) in [
+            ("memsim_1k_random_reads", memsim_speedup),
+            ("fig12_sweep", sweep_speedup),
+        ] {
+            let Some(recorded) = recorded_speedup(&committed, section) else {
+                eprintln!("# --check: no \"speedup\" recorded under \"{section}\" in {out_path}");
+                failed = true;
+                continue;
+            };
+            let floor = recorded * 0.85;
+            let verdict = if live < floor { "REGRESSED" } else { "ok" };
+            eprintln!(
+                "# --check {section}: live speedup {live:.3}x vs recorded {recorded:.3}x \
+                 (floor {floor:.3}x) -> {verdict}"
+            );
+            failed |= live < floor;
+        }
+        std::process::exit(if failed { 1 } else { 0 });
+    }
+
+    // One more fast sweep with profiling (and optionally tracing) enabled, so
+    // the JSON records worker utilization alongside the wall times.
+    let harness = EvaluationHarness::with_threads_and_mode(
+        config.clone(),
+        mixes.clone(),
+        threads,
+        SimMode::FastForward,
+    );
+    let points = fig12_points();
+    let (_, sweep_profile) = harness.evaluate_all_profiled(&points);
+    let profile_json: Vec<String> = harness
+        .prep_profile()
+        .iter()
+        .chain(std::iter::once(&sweep_profile))
+        .map(|p| p.to_json())
+        .collect();
+    let profile_json = profile_json.join(",\n    ");
+    if let Some(trace_path) = arg_string("trace") {
+        let (_, trace) = harness.evaluate_all_traced(&points);
+        std::fs::write(&trace_path, &trace).expect("write trace jsonl");
+        eprintln!("# wrote {trace_path} ({} bytes)", trace.len());
+    }
 
     // Reference wall times of the PR-5 seed implementation (per-cycle-only
     // controller, allocating hot paths, serial harness) for the identical
@@ -145,7 +220,8 @@ fn main() {
          \"percycle_serial_seconds\": {t_sweep_slow:.3},\n    \
          \"speedup\": {sweep_speedup:.3},\n    \
          \"seed_reference_seconds\": {seed_sweep_seconds:.3},\n    \
-         \"speedup_vs_seed_reference\": {vs_seed_sweep:.3}\n  }}\n}}\n"
+         \"speedup_vs_seed_reference\": {vs_seed_sweep:.3}\n  }},\n  \
+         \"harness_profile\": [\n    {profile_json}\n  ]\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("{json}");

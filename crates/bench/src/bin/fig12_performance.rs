@@ -10,7 +10,7 @@ use svard_bench::*;
 use svard_core::Svard;
 use svard_cpusim::workload::WorkloadMix;
 use svard_defenses::DefenseKind;
-use svard_system::{EvaluationHarness, SweepPoint, SystemConfig};
+use svard_system::{EvaluationHarness, SimMode, SweepPoint, SystemConfig};
 use svard_vulnerability::ModuleSpec;
 
 fn main() {
@@ -35,7 +35,18 @@ fn main() {
         "# preparing harness: {} mixes x {} cores x {} instructions",
         mixes, config.cores, instructions
     );
-    let harness = EvaluationHarness::new(config, workload_mixes);
+    // `--threads N` and `--percycle` pin the worker count and simulation mode;
+    // results and `--trace` output are bit-identical across all combinations.
+    let threads = match arg_usize("threads", 0) {
+        0 => svard_system::parallel::default_threads(),
+        n => n,
+    };
+    let mode = if arg_flag("percycle") {
+        SimMode::PerCycle
+    } else {
+        SimMode::FastForward
+    };
+    let harness = EvaluationHarness::with_threads_and_mode(config, workload_mixes, threads, mode);
 
     // Per-manufacturer Svärd profiles (S0, M0, H1), plus the No-Svärd baseline.
     let profiles: Vec<_> = ["S0", "M0", "H1"]
@@ -84,7 +95,17 @@ fn main() {
         "harmonic_speedup",
         "max_slowdown",
     ]);
-    for (i, point) in harness.evaluate_all(&points).into_iter().enumerate() {
+    // `--trace PATH` records every simulation's canonical event stream as
+    // JSON lines; the evaluation results are identical either way.
+    let results = if let Some(trace_path) = arg_string("trace") {
+        let (results, trace) = harness.evaluate_all_traced(&points);
+        std::fs::write(&trace_path, &trace).expect("write trace jsonl");
+        eprintln!("# wrote {trace_path} ({} bytes)", trace.len());
+        results
+    } else {
+        harness.evaluate_all(&points)
+    };
+    for (i, point) in results.into_iter().enumerate() {
         row(&[
             point.defense.to_string(),
             labels[i % labels.len()].clone(),

@@ -24,6 +24,9 @@ fn main() {
     config.memory.geometry.rows_per_bank = rows;
     config.seed = seed;
 
+    let trace_path = arg_string("trace");
+    let mut trace_out = String::new();
+
     header(&["defense", "provider", "slowdown_norm_to_no_svard"]);
     for (defense, adversary) in [
         (DefenseKind::Hydra, WorkloadSpec::adversarial_hydra()),
@@ -51,9 +54,16 @@ fn main() {
                 hc_first: hc,
             })
             .collect();
+        let results = if trace_path.is_some() {
+            let (results, trace) = harness.evaluate_all_traced(&points);
+            trace_out.push_str(&trace);
+            results
+        } else {
+            harness.evaluate_all(&points)
+        };
         let slowdowns: Vec<(String, f64)> = configurations
             .iter()
-            .zip(harness.evaluate_all(&points))
+            .zip(results)
             .map(|((name, _), point)| {
                 // "Slowdown" in Fig. 13 is the performance loss vs. the unprotected
                 // baseline; use the inverse of normalized weighted speedup.
@@ -67,5 +77,9 @@ fn main() {
         for (name, slowdown) in slowdowns {
             row(&[defense.to_string(), name, fmt(slowdown / no_svard)]);
         }
+    }
+    if let Some(path) = trace_path {
+        std::fs::write(&path, &trace_out).expect("write trace jsonl");
+        eprintln!("# wrote {path} ({} bytes)", trace_out.len());
     }
 }

@@ -3,6 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use svard_dram::{DramCommand, DramError};
+use svard_obs::{Collect, Counter, Hist, MetricsSnapshot, ObsSink, Recorder};
 use svard_vulnerability::cells;
 use svard_vulnerability::factors::{rowpress_amplification, temperature_factor};
 use svard_vulnerability::ModuleVulnerabilityProfile;
@@ -25,6 +26,9 @@ pub struct SimChip {
     banks: Vec<BankState>,
     trr: Vec<TrrState>,
     stats: ChipStats,
+    /// Always-on cycle-free metrics recorder (hammer burst sizes, bitflips).
+    /// Trace rings are zero-capacity: the chip records metrics, not events.
+    obs: Recorder,
     rng: StdRng,
     now_ns: f64,
 }
@@ -50,6 +54,7 @@ impl SimChip {
             banks,
             trr,
             stats: ChipStats::default(),
+            obs: Recorder::with_trace_capacity(0),
             rng,
             now_ns: 0.0,
         }
@@ -63,6 +68,14 @@ impl SimChip {
     /// The chip configuration.
     pub fn config(&self) -> &ChipConfig {
         &self.config
+    }
+
+    /// A mergeable metrics snapshot (`chip.*`): the cumulative counters plus
+    /// recorded hammer-burst and bitflip observations.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.stats.to_metrics();
+        snap.merge(&self.obs.snapshot());
+        snap
     }
 
     /// Cumulative event counters.
@@ -503,6 +516,8 @@ impl SimChip {
         self.row_state_mut(bank, aggressor_phys).activations += count;
         self.stats.activations += count;
         self.stats.precharges += count;
+        self.obs.counter(Counter::ChipHammerBursts, 1);
+        self.obs.observe(Hist::ChipHammerCount, count);
         if let Some(trr) = self.trr.get_mut(bank) {
             // The TRR sketch sees every activation; feed it a bounded number of
             // observations to keep the fast path fast while preserving ranking.
@@ -599,6 +614,8 @@ impl SimChip {
             data[bit / 8] ^= 1 << (bit % 8);
         }
         self.stats.bitflips_materialized += flipped.len() as u64;
+        self.obs
+            .counter(Counter::ChipBitflips, flipped.len() as u64);
     }
     // lint: end-hot-path
 }

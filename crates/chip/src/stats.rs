@@ -28,6 +28,27 @@ impl ChipStats {
     pub fn rowclone_attempts(&self) -> u64 {
         self.rowclone_successes + self.rowclone_failures
     }
+
+    /// These counters as a mergeable [`svard_obs::MetricsSnapshot`] (names
+    /// `chip.*`), the single reduction path shared with memsim counters.
+    pub fn to_metrics(&self) -> svard_obs::MetricsSnapshot {
+        let mut snap = svard_obs::MetricsSnapshot::default();
+        let pairs: [(&'static str, u64); 9] = [
+            ("chip.activations", self.activations),
+            ("chip.precharges", self.precharges),
+            ("chip.reads", self.reads),
+            ("chip.writes", self.writes),
+            ("chip.refreshes", self.refreshes),
+            ("chip.bitflips_materialized", self.bitflips_materialized),
+            ("chip.trr_refreshes", self.trr_refreshes),
+            ("chip.rowclone_successes", self.rowclone_successes),
+            ("chip.rowclone_failures", self.rowclone_failures),
+        ];
+        for (name, value) in pairs {
+            snap.add_counter(name, value);
+        }
+        snap
+    }
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 //! retirement past outstanding LLC misses (Table 4).
 
 use svard_memsim::{MemoryRequest, MemorySystem, RequestKind};
+use svard_obs::ObsSink;
 
 use crate::cache::{CacheOutcome, LastLevelCache};
 use crate::workload::{TraceGenerator, WorkloadSpec};
@@ -155,7 +156,7 @@ impl SimpleCore {
     /// `false` return means this tick was a pure stall — and the core will keep
     /// stalling until the memory system's state changes, which is what the
     /// system runner's fast-forwarding relies on.
-    pub fn tick(&mut self, memory: &mut MemorySystem) -> bool {
+    pub fn tick<S: ObsSink>(&mut self, memory: &mut MemorySystem<S>) -> bool {
         if self.finished() {
             return false;
         }
@@ -335,7 +336,7 @@ impl SimpleCore {
     /// queue slot, or a refresh). This is what lets the system runner fast-forward
     /// whole stall windows; the blocked conditions below mirror the early exits of
     /// `tick` exactly.
-    pub fn can_make_progress(&self, memory: &MemorySystem) -> bool {
+    pub fn can_make_progress<S: ObsSink>(&self, memory: &MemorySystem<S>) -> bool {
         if self.finished() {
             return false;
         }
@@ -393,7 +394,7 @@ impl SimpleCore {
 
     /// The next cycle (strictly after `now`) at which this core will do work, or
     /// `None` if it is finished or stalled until the memory system's next event.
-    pub fn next_ready_cycle(&self, now: u64, memory: &MemorySystem) -> Option<u64> {
+    pub fn next_ready_cycle<S: ObsSink>(&self, now: u64, memory: &MemorySystem<S>) -> Option<u64> {
         if self.can_make_progress(memory) {
             Some(now + 1)
         } else {

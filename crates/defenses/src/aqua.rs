@@ -97,6 +97,12 @@ impl MitigationHook for Aqua {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn report_obs(&self, out: &mut dyn svard_obs::Collect) {
+        use svard_obs::{Counter, Gauge};
+        out.counter(Counter::DefenseMigrations, self.migrations);
+        out.gauge_max(Gauge::DefenseTrackerOccupancy, self.next_slot.len() as u64);
+    }
 }
 // lint: end-hot-path
 

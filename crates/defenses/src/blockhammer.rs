@@ -99,6 +99,17 @@ impl MitigationHook for BlockHammer {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn report_obs(&self, out: &mut dyn svard_obs::Collect) {
+        use svard_obs::{Counter, Gauge};
+        out.counter(Counter::DefenseThrottleEvents, self.throttle_events);
+        out.gauge_max(
+            Gauge::DefenseTrackerOccupancy,
+            self.active_filter
+                .occupied()
+                .max(self.aging_filter.occupied()) as u64,
+        );
+    }
 }
 // lint: end-hot-path
 

@@ -118,6 +118,12 @@ impl CountingBloomFilter {
     pub fn clear(&mut self) {
         self.counters.iter_mut().for_each(|c| *c = 0);
     }
+
+    /// Number of non-zero counters — the filter's occupancy, reported to the
+    /// observability layer (an O(counters) scan; snapshot-time use only).
+    pub fn occupied(&self) -> usize {
+        self.counters.iter().filter(|c| **c > 0).count()
+    }
 }
 
 #[cfg(test)]

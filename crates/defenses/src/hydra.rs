@@ -45,6 +45,7 @@ pub struct Hydra {
     name: String,
     rcc_misses: u64,
     rcc_hits: u64,
+    rcc_evictions: u64,
     preventive_refreshes: u64,
 }
 
@@ -61,6 +62,7 @@ impl Hydra {
             name,
             rcc_misses: 0,
             rcc_hits: 0,
+            rcc_evictions: 0,
             preventive_refreshes: 0,
         }
     }
@@ -73,6 +75,11 @@ impl Hydra {
     /// Row-count-cache hit count.
     pub fn rcc_hits(&self) -> u64 {
         self.rcc_hits
+    }
+
+    /// Row-count-cache capacity evictions.
+    pub fn rcc_evictions(&self) -> u64 {
+        self.rcc_evictions
     }
 
     /// Preventive refreshes issued.
@@ -95,6 +102,7 @@ impl Hydra {
             // makes the tie-break (smallest key among equal stamps) stable.
             if let Some((&victim, _)) = self.rcc.iter().min_by_key(|(_, &stamp)| stamp) {
                 self.rcc.remove(&victim);
+                self.rcc_evictions += 1;
             }
         }
         self.rcc.insert(key, self.use_stamp);
@@ -158,6 +166,26 @@ impl MitigationHook for Hydra {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn report_obs(&self, out: &mut dyn svard_obs::Collect) {
+        use svard_obs::{Counter, Gauge};
+        out.counter(Counter::DefenseRccHits, self.rcc_hits);
+        out.counter(Counter::DefenseRccMisses, self.rcc_misses);
+        out.counter(Counter::DefenseRccEvictions, self.rcc_evictions);
+        out.counter(
+            Counter::DefensePreventiveRefreshes,
+            self.preventive_refreshes,
+        );
+        out.gauge_max(Gauge::DefenseRccOccupancy, self.rcc.len() as u64);
+        out.gauge_max(
+            Gauge::DefenseGroupTableOccupancy,
+            self.group_counts.len() as u64,
+        );
+        out.gauge_max(
+            Gauge::DefenseRowTableOccupancy,
+            self.row_counts.len() as u64,
+        );
     }
 }
 // lint: end-hot-path

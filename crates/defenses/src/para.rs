@@ -74,6 +74,13 @@ impl MitigationHook for Para {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn report_obs(&self, out: &mut dyn svard_obs::Collect) {
+        out.counter(
+            svard_obs::Counter::DefensePreventiveRefreshes,
+            self.preventive_refreshes,
+        );
+    }
 }
 // lint: end-hot-path
 

@@ -135,6 +135,18 @@ impl MitigationHook for Rrs {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn report_obs(&self, out: &mut dyn svard_obs::Collect) {
+        use svard_obs::{Counter, Gauge};
+        out.counter(Counter::DefenseSwaps, self.swaps);
+        let peak = self
+            .trackers
+            .values()
+            .map(|t| t.entries.len())
+            .max()
+            .unwrap_or(0);
+        out.gauge_max(Gauge::DefenseTrackerOccupancy, peak as u64);
+    }
 }
 
 #[cfg(test)]

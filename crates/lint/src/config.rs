@@ -53,6 +53,9 @@ impl Default for LintConfig {
                 "env::vars",
                 "available_parallelism",
                 "RandomState",
+                // The obs wall-clock span timer: metric/event *recording* is
+                // cycle-domain-safe in sim crates, wall-clock profiling is not.
+                "WallTimer::start",
             ]
             .iter()
             .map(|s| s.to_string())

@@ -115,6 +115,23 @@ fn reasonless_suppression_is_an_error_and_does_not_suppress() {
 }
 
 #[test]
+fn obs_recording_is_clean_but_wall_clock_timer_is_flagged_in_sim_crates() {
+    let report = analyze_fixture("obs_wallclock.rs", SIM);
+    assert_eq!(
+        lines_for(&report, "determinism"),
+        vec![13],
+        "only the WallTimer::start span timer should be flagged: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn obs_wall_clock_timer_is_allowed_outside_sim_crates() {
+    let report = analyze_fixture("obs_wallclock.rs", LIB);
+    assert!(lines_for(&report, "determinism").is_empty());
+}
+
+#[test]
 fn clean_fixture_produces_no_findings_under_every_rule() {
     let report = analyze_fixture("clean.rs", BOTH);
     assert!(

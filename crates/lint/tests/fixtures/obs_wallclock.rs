@@ -1,0 +1,15 @@
+//! Fixture: svard-obs *recording* APIs (counters, gauges, histograms, events)
+//! are cycle-domain and legal in simulation crates; the wall-clock span timer
+//! is a nondeterministic input and is not.
+
+fn record(sink: &mut Recorder) {
+    sink.counter(Counter::MemCmdIssued, 1);
+    sink.gauge_max(Gauge::MemReadQueuePeak, 4);
+    sink.observe(Hist::MemReadLatency, 12);
+    sink.event(7, EventKind::CmdIssued, 0, 0, 0);
+}
+
+fn profile() -> f64 {
+    let timer = WallTimer::start();
+    timer.elapsed_seconds()
+}

@@ -79,6 +79,12 @@ pub trait MitigationHook {
     /// epoch state.
     fn on_refresh_tick(&mut self, _cycle: u64) {}
 
+    /// Pull-style observability: report trigger counts and table occupancy
+    /// into `out`. Called once at snapshot time — never on the activation hot
+    /// path — so implementations pay no per-activation recording cost. The
+    /// default reports nothing.
+    fn report_obs(&self, _out: &mut dyn svard_obs::Collect) {}
+
     /// Human-readable name used in experiment output.
     fn name(&self) -> &str;
 

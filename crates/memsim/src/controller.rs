@@ -26,6 +26,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use svard_dram::address::BankId;
+use svard_obs::{Counter, EventKind, Gauge, Hist, MetricsSnapshot, NoopSink, ObsSink};
 
 use crate::actions::{MitigationHook, NoMitigation, PreventiveAction};
 use crate::bank::{BankTiming, RankTiming};
@@ -72,7 +73,13 @@ impl TimingCycles {
 }
 
 /// The simulated memory system: one controller driving one DDR4 channel.
-pub struct MemorySystem {
+///
+/// The `S` parameter is the observability sink (see `svard-obs`): the
+/// default [`NoopSink`] records nothing and compiles to nothing, so the
+/// plain `MemorySystem` type is exactly as fast as before the sink existed.
+/// Construct with [`MemorySystem::with_mitigation_and_sink`] to record
+/// cycle-domain metrics and events.
+pub struct MemorySystem<S: ObsSink = NoopSink> {
     config: MemoryConfig,
     t: TimingCycles,
     /// Cost (cycles) of one row migration: read-out plus write-back of a full row.
@@ -100,9 +107,10 @@ pub struct MemorySystem {
     no_schedule_before: u64,
     cycle: u64,
     stats: MemStats,
+    sink: S,
 }
 
-impl std::fmt::Debug for MemorySystem {
+impl<S: ObsSink> std::fmt::Debug for MemorySystem<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MemorySystem")
             .field("cycle", &self.cycle)
@@ -114,7 +122,7 @@ impl std::fmt::Debug for MemorySystem {
     }
 }
 
-impl MemorySystem {
+impl MemorySystem<NoopSink> {
     /// Create a memory system with no read-disturbance defense (the paper's
     /// baseline).
     pub fn new(config: MemoryConfig) -> Self {
@@ -123,6 +131,18 @@ impl MemorySystem {
 
     /// Create a memory system protected by the given defense.
     pub fn with_mitigation(config: MemoryConfig, mitigation: Box<dyn MitigationHook>) -> Self {
+        Self::with_mitigation_and_sink(config, mitigation, NoopSink)
+    }
+}
+
+impl<S: ObsSink> MemorySystem<S> {
+    /// Create a memory system protected by the given defense, recording
+    /// cycle-domain observations into `sink`.
+    pub fn with_mitigation_and_sink(
+        config: MemoryConfig,
+        mitigation: Box<dyn MitigationHook>,
+        sink: S,
+    ) -> Self {
         let banks = vec![BankTiming::default(); config.total_banks()];
         let ranks = vec![
             RankTiming::default();
@@ -151,7 +171,30 @@ impl MemorySystem {
             no_schedule_before: 0,
             cycle: 0,
             stats: MemStats::default(),
+            sink,
         }
+    }
+
+    /// The observability sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Consume the system, returning the sink with everything it recorded.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Freeze a full metrics snapshot: controller statistics (`mem.*`),
+    /// everything the sink recorded, and the defense's pull-style report
+    /// (`defense.*`). Entries under `diag.` describe execution strategy;
+    /// strip them with [`MetricsSnapshot::canonical`] when comparing
+    /// fast-forward against per-cycle runs.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.stats.to_metrics();
+        snap.merge(&self.sink.snapshot());
+        self.mitigation.report_obs(&mut snap);
+        snap
     }
 
     /// The configuration in use.
@@ -207,8 +250,22 @@ impl MemorySystem {
         request.rank_idx = request.dram_addr.channel * self.config.geometry.ranks_per_channel
             + request.dram_addr.rank;
         match request.kind {
-            RequestKind::Read => self.read_queue.push_back(request),
-            RequestKind::Write => self.write_queue.push_back(request),
+            RequestKind::Read => {
+                self.read_queue.push_back(request);
+                if S::ENABLED {
+                    let depth = self.read_queue.len() as u64;
+                    self.sink.observe(Hist::MemReadQueueDepth, depth);
+                    self.sink.gauge_max(Gauge::MemReadQueuePeak, depth);
+                }
+            }
+            RequestKind::Write => {
+                self.write_queue.push_back(request);
+                if S::ENABLED {
+                    let depth = self.write_queue.len() as u64;
+                    self.sink.observe(Hist::MemWriteQueueDepth, depth);
+                    self.sink.gauge_max(Gauge::MemWriteQueuePeak, depth);
+                }
+            }
         }
         // A new request (or the queue-selection change it causes) can enable an
         // earlier schedule.
@@ -251,6 +308,10 @@ impl MemorySystem {
                     RequestKind::Read => {
                         self.stats.reads_completed += 1;
                         self.stats.total_read_latency += completion - req.arrival_cycle;
+                        if S::ENABLED {
+                            self.sink
+                                .observe(Hist::MemReadLatency, completion - req.arrival_cycle);
+                        }
                     }
                     RequestKind::Write => self.stats.writes_completed += 1,
                 }
@@ -409,6 +470,14 @@ impl MemorySystem {
         }
         self.cycle = start + n;
         self.stats.cycles += n;
+        if S::ENABLED {
+            // Diagnostic only: fast-forward skips exist in event-driven runs
+            // but not per-cycle ones, so they live in the `diag.` namespace
+            // and the diagnostic trace ring, never the canonical stream.
+            self.sink.counter(Counter::DiagMemFfSkips, 1);
+            self.sink.observe(Hist::DiagMemSkipSpan, n);
+            self.sink.event(start + n, EventKind::FfSkip, n, 0, 0);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -422,6 +491,16 @@ impl MemorySystem {
             rank.begin_refresh_cycles(self.cycle, t_rfc);
         }
         self.stats.refreshes += self.ranks.len() as u64;
+        if S::ENABLED {
+            self.sink.counter(Counter::MemRefreshFired, 1);
+            self.sink.event(
+                self.cycle,
+                EventKind::RefreshFired,
+                self.ranks.len() as u64,
+                0,
+                0,
+            );
+        }
         self.mitigation.on_refresh_tick(self.cycle);
         self.next_refresh += self.t.t_refi;
         // Rank state changed; conservatively allow the next scan to re-derive.
@@ -681,6 +760,24 @@ impl MemorySystem {
         let is_hit = self.bank_at(bank_idx).is_open(row);
         let needs_conflict_pre = !is_hit && self.bank_at(bank_idx).open_row.is_some();
 
+        if S::ENABLED {
+            let mut flags = match req.kind {
+                RequestKind::Read => 0,
+                RequestKind::Write => 1,
+            };
+            if !is_hit {
+                flags |= 2;
+            }
+            self.sink.counter(Counter::MemCmdIssued, 1);
+            self.sink.event(
+                cycle,
+                EventKind::CmdIssued,
+                bank_idx as u64,
+                row as u64,
+                flags,
+            );
+        }
+
         // Time at which the column command can issue.
         let mut col_issue = cycle;
         if !is_hit {
@@ -749,6 +846,24 @@ impl MemorySystem {
         let t = self.t;
         let migration_cost = self.migration_cost;
         for action in actions.drain(..) {
+            if S::ENABLED {
+                // Action code, flat bank, and row-ish payload per variant;
+                // unknown banks fall back to the activating bank exactly as
+                // the execution arms below do.
+                let (code, bank, payload) = match &action {
+                    PreventiveAction::RefreshRow { bank, row } => (0u64, *bank, *row as u64),
+                    PreventiveAction::ThrottleRow { bank, row, .. } => (1, *bank, *row as u64),
+                    PreventiveAction::MigrateRow { bank, to_row, .. } => (2, *bank, *to_row as u64),
+                    PreventiveAction::SwapRows { bank, row_a, .. } => (3, *bank, *row_a as u64),
+                    PreventiveAction::ExtraTraffic { bank, accesses } => {
+                        (4, *bank, *accesses as u64)
+                    }
+                };
+                let flat = self.bank_index_of(bank).unwrap_or(origin_bank_idx) as u64;
+                self.sink.counter(Counter::MemMitigationActions, 1);
+                self.sink
+                    .event(act_cycle, EventKind::MitigationFired, code, flat, payload);
+            }
             match action {
                 PreventiveAction::RefreshRow { bank, .. } => {
                     let idx = self.bank_index_of(bank).unwrap_or(origin_bank_idx);
@@ -767,6 +882,18 @@ impl MemorySystem {
                 } => {
                     let idx = self.bank_index_of(bank).unwrap_or(origin_bank_idx);
                     self.throttled.insert((idx, row), until_cycle);
+                    if S::ENABLED {
+                        self.sink.counter(Counter::MemThrottleEngaged, 1);
+                        self.sink.event(
+                            act_cycle,
+                            EventKind::ThrottleEngaged,
+                            idx as u64,
+                            row as u64,
+                            until_cycle,
+                        );
+                        self.sink
+                            .gauge_max(Gauge::MemThrottleTablePeak, self.throttled.len() as u64);
+                    }
                 }
                 PreventiveAction::MigrateRow { bank, .. } => {
                     let idx = self.bank_index_of(bank).unwrap_or(origin_bank_idx);
@@ -1169,6 +1296,80 @@ mod tests {
 
     /// Per-cycle reference loop for the equivalence check below.
     fn drain_per_cycle(mem: &mut MemorySystem, max_cycles: u64) -> Vec<CompletedRequest> {
+        let mut out = Vec::new();
+        for _ in 0..max_cycles {
+            out.extend(mem.tick());
+            if mem.outstanding() == 0 {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn recorder_sink_observes_issue_refresh_and_mitigation_paths() {
+        use svard_obs::Recorder;
+        let mut mem = MemorySystem::with_mitigation_and_sink(
+            MemoryConfig::small(1024),
+            Box::new(ThrottleEverything),
+            Recorder::new(),
+        );
+        mem.enqueue(read_at(1, 0)).unwrap();
+        mem.run_until_idle(100_000);
+        // Advance past a refresh boundary so the refresh path records too.
+        let past_refresh = mem.cycle() + mem.config().timing.t_refi() + 10;
+        let mut out = Vec::new();
+        mem.tick_until(past_refresh, &mut out);
+        let snap = mem.metrics();
+        assert_eq!(snap.counter("mem.cmd_issued"), 1);
+        assert_eq!(snap.counter("mem.throttle_engaged"), 1);
+        assert_eq!(snap.counter("mem.mitigation_actions"), 1);
+        assert!(snap.counter("mem.refresh_fired") > 0);
+        assert_eq!(snap.gauge("mem.read_queue_peak"), 1);
+        assert_eq!(snap.hists.get("mem.read_latency").map(|h| h.count), Some(1));
+        // Stats-derived counters ride in the same snapshot.
+        assert_eq!(snap.counter("mem.reads_completed"), 1);
+        // Event stream: one cmd_issued, one mitigation_fired + throttle_engaged.
+        let kinds: Vec<&str> = mem.sink().trace().iter().map(|e| e.kind.name()).collect();
+        assert!(kinds.contains(&"cmd_issued"));
+        assert!(kinds.contains(&"mitigation_fired"));
+        assert!(kinds.contains(&"throttle_engaged"));
+        // Fast-forward skips are diagnostic: present, but never canonical.
+        assert!(kinds.iter().all(|k| *k != "ff_skip"));
+        assert!(snap.counter("diag.mem.ff_skips") > 0);
+        assert!(!mem.sink().diag_trace().is_empty());
+    }
+
+    #[test]
+    fn canonical_trace_is_identical_between_fast_forward_and_per_cycle() {
+        use svard_obs::Recorder;
+        let build = || {
+            let mut mem = MemorySystem::with_mitigation_and_sink(
+                MemoryConfig::small(2048),
+                Box::new(ThrottleEverything),
+                Recorder::new(),
+            );
+            for i in 0..24u64 {
+                mem.enqueue(read_at(i, (i % 6) * 0x1_0040)).unwrap();
+            }
+            mem
+        };
+        let mut slow = build();
+        let mut fast = build();
+        let slow_done = drain_per_cycle_generic(&mut slow, 200_000);
+        let fast_done = fast.run_until_idle(200_000);
+        assert_eq!(slow_done, fast_done);
+        assert_eq!(slow.sink().trace_jsonl(), fast.sink().trace_jsonl());
+        assert_eq!(slow.metrics().canonical(), fast.metrics().canonical());
+        // The per-cycle run took no skips; the fast-forward run did.
+        assert_eq!(slow.metrics().counter("diag.mem.ff_skips"), 0);
+        assert!(fast.metrics().counter("diag.mem.ff_skips") > 0);
+    }
+
+    fn drain_per_cycle_generic<S: svard_obs::ObsSink>(
+        mem: &mut MemorySystem<S>,
+        max_cycles: u64,
+    ) -> Vec<CompletedRequest> {
         let mut out = Vec::new();
         for _ in 0..max_cycles {
             out.extend(mem.tick());

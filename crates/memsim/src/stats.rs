@@ -1,5 +1,7 @@
 //! Memory-system statistics.
 
+use svard_obs::MetricsSnapshot;
+
 /// Cumulative counters of one [`crate::MemorySystem`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemStats {
@@ -62,6 +64,32 @@ impl MemStats {
     /// defense overhead.
     pub fn preventive_work(&self) -> u64 {
         self.preventive_refreshes + 2 * self.row_migrations + 4 * self.row_swaps
+    }
+
+    /// These counters as a mergeable [`MetricsSnapshot`] (names `mem.*`),
+    /// the single reduction path shared with sink-recorded metrics.
+    pub fn to_metrics(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        let pairs: [(&'static str, u64); 14] = [
+            ("mem.reads_completed", self.reads_completed),
+            ("mem.writes_completed", self.writes_completed),
+            ("mem.row_hits", self.row_hits),
+            ("mem.row_misses", self.row_misses),
+            ("mem.row_conflicts", self.row_conflicts),
+            ("mem.activations", self.activations),
+            ("mem.refreshes", self.refreshes),
+            ("mem.preventive_refreshes", self.preventive_refreshes),
+            ("mem.row_migrations", self.row_migrations),
+            ("mem.row_swaps", self.row_swaps),
+            ("mem.extra_accesses", self.extra_accesses),
+            ("mem.throttle_stalls", self.throttle_stalls),
+            ("mem.total_read_latency", self.total_read_latency),
+            ("mem.cycles", self.cycles),
+        ];
+        for (name, value) in pairs {
+            snap.add_counter(name, value);
+        }
+        snap
     }
 }
 

@@ -1,0 +1,125 @@
+//! Wall-clock phase profiling — for the harness boundary only.
+//!
+//! Simulated time lives in the cycle domain; wall-clock spans are for
+//! measuring the *simulator* (points per second, worker utilization).
+//! `svard-lint`'s determinism rule forbids `WallTimer::start` inside
+//! simulation crates; call sites at the harness boundary opt in with an
+//! explicit `// lint: allow(determinism) -- <reason>` suppression, which
+//! keeps every wall-clock ingress greppable and justified.
+
+use std::time::Instant;
+
+/// A wall-clock span timer.
+#[derive(Debug, Clone, Copy)]
+pub struct WallTimer {
+    start: Instant,
+}
+
+impl WallTimer {
+    /// Start a span now. Forbidden in simulation crates (see module docs).
+    pub fn start() -> Self {
+        WallTimer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since the span started.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+/// Wall-clock profile of one harness phase (e.g. `alone`, `baseline`,
+/// `sweep`): elapsed span, task count, and summed per-task busy time across
+/// however many worker threads ran it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProfile {
+    /// Phase label.
+    pub phase: &'static str,
+    /// Wall-clock seconds for the whole phase span.
+    pub wall_seconds: f64,
+    /// Tasks completed within the span.
+    pub tasks: usize,
+    /// Sum of per-task busy seconds across all workers.
+    pub busy_seconds: f64,
+    /// Worker threads the phase ran with.
+    pub threads: usize,
+}
+
+impl PhaseProfile {
+    /// Fraction of total worker capacity (threads x wall span) spent busy,
+    /// in `[0, 1]` (clamped; timer granularity can nudge it past 1).
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.wall_seconds * self.threads.max(1) as f64;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (self.busy_seconds / capacity).min(1.0)
+        }
+    }
+
+    /// Tasks completed per wall-clock second (0 for an empty span).
+    pub fn tasks_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.tasks as f64 / self.wall_seconds
+        }
+    }
+
+    /// One JSON object with fixed field order.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"phase\":\"{}\",\"wall_seconds\":{:.6},\"tasks\":{},\"busy_seconds\":{:.6},\
+             \"threads\":{},\"utilization\":{:.4},\"tasks_per_second\":{:.2}}}",
+            self.phase,
+            self.wall_seconds,
+            self.tasks,
+            self.busy_seconds,
+            self.threads,
+            self.utilization(),
+            self.tasks_per_second()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_measures_forward_time() {
+        let t = WallTimer::start();
+        let e1 = t.elapsed_seconds();
+        let e2 = t.elapsed_seconds();
+        assert!(e1 >= 0.0);
+        assert!(e2 >= e1);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_capacity() {
+        let p = PhaseProfile {
+            phase: "sweep",
+            wall_seconds: 2.0,
+            tasks: 8,
+            busy_seconds: 6.0,
+            threads: 4,
+        };
+        assert!((p.utilization() - 0.75).abs() < 1e-9);
+        assert!((p.tasks_per_second() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_spans_do_not_divide_by_zero() {
+        let p = PhaseProfile {
+            phase: "empty",
+            wall_seconds: 0.0,
+            tasks: 0,
+            busy_seconds: 0.0,
+            threads: 0,
+        };
+        assert_eq!(p.utilization(), 0.0);
+        assert_eq!(p.tasks_per_second(), 0.0);
+        assert!(p.to_json().contains("\"phase\":\"empty\""));
+    }
+}

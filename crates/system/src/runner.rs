@@ -21,6 +21,7 @@ use svard_cpusim::SimpleCore;
 use svard_defenses::provider::SharedThresholdProvider;
 use svard_defenses::DefenseKind;
 use svard_memsim::{CompletedRequest, MemStats, MemorySystem, MitigationHook, NoMitigation};
+use svard_obs::{MetricsSnapshot, NoopSink, ObsSink, PhaseProfile, Recorder, WallTimer};
 
 use crate::config::SystemConfig;
 use crate::parallel;
@@ -44,6 +45,11 @@ pub struct RunResult {
     pub per_core_ipc: Vec<f64>,
     /// Memory-system statistics.
     pub mem_stats: MemStats,
+    /// Merged observability snapshot: the `mem.*` counters, anything the sink
+    /// recorded, and the defense's pulled `defense.*` report. `diag.*` entries
+    /// appear only in fast-forward runs with a recording sink; strip them with
+    /// [`MetricsSnapshot::canonical`] when comparing across modes.
+    pub metrics: MetricsSnapshot,
     /// Cycles simulated until every core finished (or the cycle cap).
     pub cycles: u64,
 }
@@ -107,7 +113,23 @@ pub fn run_mix_with_mode(
     mitigation: Box<dyn MitigationHook>,
     mode: SimMode,
 ) -> RunResult {
-    let mut memory = MemorySystem::with_mitigation(config.memory.clone(), mitigation);
+    run_mix_with_sink(mix, config, mitigation, mode, NoopSink).0
+}
+
+/// Simulate one workload mix with an explicit [`SimMode`] and observability
+/// sink, returning the run result together with the sink (which owns any
+/// recorded event trace). With [`NoopSink`] this is exactly
+/// [`run_mix_with_mode`]; with a [`Recorder`] every issued command, refresh,
+/// preventive action and throttle decision is captured cycle-stamped.
+pub fn run_mix_with_sink<S: ObsSink>(
+    mix: &WorkloadMix,
+    config: &SystemConfig,
+    mitigation: Box<dyn MitigationHook>,
+    mode: SimMode,
+    sink: S,
+) -> (RunResult, S) {
+    let mut memory =
+        MemorySystem::with_mitigation_and_sink(config.memory.clone(), mitigation, sink);
     let mut cores: Vec<SimpleCore> = mix
         .workloads
         .iter()
@@ -178,11 +200,13 @@ pub fn run_mix_with_mode(
             }
         }
     }
-    RunResult {
+    let result = RunResult {
         per_core_ipc: cores.iter().map(|c| c.ipc()).collect(),
         mem_stats: memory.stats().clone(),
+        metrics: memory.metrics(),
         cycles,
-    }
+    };
+    (result, memory.into_sink())
 }
 
 /// Simulate one workload running alone on one core of the baseline system (the
@@ -200,7 +224,11 @@ fn run_alone_with_mode(spec: &WorkloadSpec, config: &SystemConfig, mode: SimMode
         cores: 1,
         ..config.clone()
     };
-    run_mix_with_mode(&mix, &single, Box::new(NoMitigation), mode).per_core_ipc[0]
+    run_mix_with_mode(&mix, &single, Box::new(NoMitigation), mode)
+        .per_core_ipc
+        .first()
+        .copied()
+        .unwrap_or(0.0)
 }
 
 /// Evaluation harness that caches the per-mix alone-IPC vectors and baseline
@@ -213,6 +241,7 @@ pub struct EvaluationHarness {
     baseline: Vec<SystemMetrics>,
     threads: usize,
     mode: SimMode,
+    prep_profile: Vec<PhaseProfile>,
 }
 
 impl EvaluationHarness {
@@ -261,18 +290,51 @@ impl EvaluationHarness {
                     })
             })
             .collect();
-        let unique_ipc = parallel::par_map(&unique_specs, threads, |_, &spec| {
-            run_alone_with_mode(spec, &config, mode)
+        // lint: allow(determinism) -- phase profiling measures the harness, never simulation state
+        let alone_wall = WallTimer::start();
+        let timed_alone = parallel::par_map(&unique_specs, threads, |_, &spec| {
+            // lint: allow(determinism) -- per-task busy time never feeds back into results
+            let task = WallTimer::start();
+            (
+                run_alone_with_mode(spec, &config, mode),
+                task.elapsed_seconds(),
+            )
         });
+        let alone_profile = PhaseProfile {
+            phase: "alone_runs",
+            wall_seconds: alone_wall.elapsed_seconds(),
+            tasks: unique_specs.len(),
+            busy_seconds: timed_alone.iter().map(|(_, s)| s).sum(),
+            threads,
+        };
+        let unique_ipc: Vec<f64> = timed_alone.into_iter().map(|(ipc, _)| ipc).collect();
         let mut alone_ipc: Vec<Vec<f64>> = vec![Vec::new(); mixes.len()];
         for (&(m, _), &u) in slots.iter().zip(&spec_index) {
-            alone_ipc[m].push(unique_ipc[u]);
+            if let (Some(per_mix), Some(&ipc)) = (alone_ipc.get_mut(m), unique_ipc.get(u)) {
+                per_mix.push(ipc);
+            }
         }
         // Baseline (no defense) runs: one task per mix.
-        let baseline = parallel::par_map(&mixes, threads, |m, mix| {
+        // lint: allow(determinism) -- phase profiling measures the harness, never simulation state
+        let baseline_wall = WallTimer::start();
+        let timed_baseline = parallel::par_map(&mixes, threads, |m, mix| {
+            // lint: allow(determinism) -- per-task busy time never feeds back into results
+            let task = WallTimer::start();
             let run = run_mix_with_mode(mix, &config, Box::new(NoMitigation), mode);
-            SystemMetrics::compute(&alone_ipc[m], &run.per_core_ipc)
+            let alone = alone_ipc.get(m).map_or(&[] as &[f64], Vec::as_slice);
+            (
+                SystemMetrics::compute(alone, &run.per_core_ipc),
+                task.elapsed_seconds(),
+            )
         });
+        let baseline_profile = PhaseProfile {
+            phase: "baseline_runs",
+            wall_seconds: baseline_wall.elapsed_seconds(),
+            tasks: mixes.len(),
+            busy_seconds: timed_baseline.iter().map(|(_, s)| s).sum(),
+            threads,
+        };
+        let baseline: Vec<SystemMetrics> = timed_baseline.into_iter().map(|(b, _)| b).collect();
         Self {
             config,
             mixes,
@@ -280,7 +342,15 @@ impl EvaluationHarness {
             baseline,
             threads,
             mode,
+            prep_profile: vec![alone_profile, baseline_profile],
         }
+    }
+
+    /// Wall-clock profiles of the construction phases (`alone_runs` and
+    /// `baseline_runs`): task counts, wall seconds, summed busy seconds and
+    /// worker utilization.
+    pub fn prep_profile(&self) -> &[PhaseProfile] {
+        &self.prep_profile
     }
 
     /// The mixes under evaluation.
@@ -301,13 +371,24 @@ impl EvaluationHarness {
         provider: SharedThresholdProvider,
         hc_first: u64,
     ) -> EvaluationPoint {
-        self.evaluate_all(&[SweepPoint {
-            defense,
-            provider,
-            hc_first,
-        }])
-        .pop()
-        .expect("one point in, one point out")
+        let provider_name = provider.name().to_string();
+        match self
+            .evaluate_all(&[SweepPoint {
+                defense,
+                provider,
+                hc_first,
+            }])
+            .pop()
+        {
+            Some(point) => point,
+            // Unreachable: evaluate_all returns one point per input point.
+            None => EvaluationPoint {
+                defense,
+                provider: provider_name,
+                hc_first,
+                normalized: ZERO_METRICS,
+            },
+        }
     }
 
     /// Evaluate a whole sweep, fanning the individual (point × mix) simulations
@@ -315,36 +396,124 @@ impl EvaluationHarness {
     /// simulation seeds its defense from `config.seed ^ hc_first` and its traces
     /// from `config.seed`, so the output is bit-identical to a serial sweep.
     pub fn evaluate_all(&self, points: &[SweepPoint]) -> Vec<EvaluationPoint> {
-        let rows_per_bank = self.config.memory.geometry.rows_per_bank;
-        let n_mixes = self.mixes.len();
-        let tasks: Vec<(usize, usize)> = (0..points.len())
-            .flat_map(|p| (0..n_mixes).map(move |m| (p, m)))
-            .collect();
+        let tasks = self.tasks(points);
         let normalized = parallel::par_map(&tasks, self.threads, |_, &(p, m)| {
-            let point = &points[p];
-            let mitigation = point.defense.build(
-                point.provider.clone(),
-                rows_per_bank,
-                self.config.seed ^ point.hc_first,
-            );
-            let run = run_mix_with_mode(&self.mixes[m], &self.config, mitigation, self.mode);
-            let metrics = SystemMetrics::compute(&self.alone_ipc[m], &run.per_core_ipc);
-            metrics.normalized_to(&self.baseline[m])
+            self.simulate_task(points, p, m, NoopSink).0
         });
+        self.aggregate(points, &normalized)
+    }
+
+    /// [`evaluate_all`](Self::evaluate_all) with a [`Recorder`] sink per
+    /// simulation, additionally returning the event trace as JSON lines.
+    ///
+    /// Sections appear in input order — one header line per `(point, mix)`
+    /// task followed by that simulation's cycle-stamped events — and contain
+    /// only canonical (cycle-domain) events, so the returned bytes are
+    /// identical for any worker-thread count and for fast-forward vs.
+    /// per-cycle simulation.
+    pub fn evaluate_all_traced(&self, points: &[SweepPoint]) -> (Vec<EvaluationPoint>, String) {
+        let tasks = self.tasks(points);
+        let outcomes = parallel::par_map(&tasks, self.threads, |_, &(p, m)| {
+            self.simulate_task(points, p, m, Recorder::new())
+        });
+        let mut trace = String::new();
+        for (&(p, m), (_, sink)) in tasks.iter().zip(&outcomes) {
+            let Some(point) = points.get(p) else { continue };
+            trace.push_str(&format!(
+                "{{\"section\":{{\"defense\":\"{}\",\"provider\":\"{}\",\"hc_first\":{},\"mix\":{m}}}}}\n",
+                point.defense,
+                point.provider.name(),
+                point.hc_first,
+            ));
+            trace.push_str(&sink.trace_jsonl());
+        }
+        let normalized: Vec<SystemMetrics> = outcomes.iter().map(|(n, _)| *n).collect();
+        (self.aggregate(points, &normalized), trace)
+    }
+
+    /// [`evaluate_all`](Self::evaluate_all) plus a wall-clock profile of the
+    /// sweep phase (task count, wall seconds, summed busy seconds, worker
+    /// utilization). The evaluation results are bit-identical to
+    /// `evaluate_all`; only the measurement rides along.
+    pub fn evaluate_all_profiled(
+        &self,
+        points: &[SweepPoint],
+    ) -> (Vec<EvaluationPoint>, PhaseProfile) {
+        // lint: allow(determinism) -- phase profiling measures the harness, never simulation state
+        let wall = WallTimer::start();
+        let tasks = self.tasks(points);
+        let timed = parallel::par_map(&tasks, self.threads, |_, &(p, m)| {
+            // lint: allow(determinism) -- per-task busy time never feeds back into results
+            let task = WallTimer::start();
+            let (norm, _) = self.simulate_task(points, p, m, NoopSink);
+            (norm, task.elapsed_seconds())
+        });
+        let profile = PhaseProfile {
+            phase: "sweep",
+            wall_seconds: wall.elapsed_seconds(),
+            tasks: tasks.len(),
+            busy_seconds: timed.iter().map(|(_, s)| s).sum(),
+            threads: self.threads,
+        };
+        let normalized: Vec<SystemMetrics> = timed.iter().map(|(n, _)| *n).collect();
+        (self.aggregate(points, &normalized), profile)
+    }
+
+    /// The flattened `(point, mix)` work list of a sweep, in input order.
+    fn tasks(&self, points: &[SweepPoint]) -> Vec<(usize, usize)> {
+        let n_mixes = self.mixes.len();
+        (0..points.len())
+            .flat_map(|p| (0..n_mixes).map(move |m| (p, m)))
+            .collect()
+    }
+
+    /// Simulate one `(point, mix)` task with the given sink and normalize the
+    /// resulting metrics to that mix's no-defense baseline.
+    fn simulate_task<S: ObsSink>(
+        &self,
+        points: &[SweepPoint],
+        p: usize,
+        m: usize,
+        sink: S,
+    ) -> (SystemMetrics, S) {
+        let (Some(point), Some(mix), Some(alone), Some(base)) = (
+            points.get(p),
+            self.mixes.get(m),
+            self.alone_ipc.get(m),
+            self.baseline.get(m),
+        ) else {
+            // Unreachable: tasks() only produces in-range indices.
+            return (ZERO_METRICS, sink);
+        };
+        let mitigation = point.defense.build(
+            point.provider.clone(),
+            self.config.memory.geometry.rows_per_bank,
+            self.config.seed ^ point.hc_first,
+        );
+        let (run, sink) = run_mix_with_sink(mix, &self.config, mitigation, self.mode, sink);
+        let metrics = SystemMetrics::compute(alone, &run.per_core_ipc);
+        (metrics.normalized_to(base), sink)
+    }
+
+    /// Average the per-task normalized metrics over mixes, one result per
+    /// sweep point, in input order.
+    fn aggregate(
+        &self,
+        points: &[SweepPoint],
+        normalized: &[SystemMetrics],
+    ) -> Vec<EvaluationPoint> {
+        let n_mixes = self.mixes.len();
         points
             .iter()
             .enumerate()
             .map(|(p, point)| {
-                let mut sums = SystemMetrics {
-                    weighted_speedup: 0.0,
-                    harmonic_speedup: 0.0,
-                    max_slowdown: 0.0,
-                };
+                let mut sums = ZERO_METRICS;
                 for m in 0..n_mixes {
-                    let norm = &normalized[p * n_mixes + m];
-                    sums.weighted_speedup += norm.weighted_speedup;
-                    sums.harmonic_speedup += norm.harmonic_speedup;
-                    sums.max_slowdown += norm.max_slowdown;
+                    if let Some(norm) = normalized.get(p * n_mixes + m) {
+                        sums.weighted_speedup += norm.weighted_speedup;
+                        sums.harmonic_speedup += norm.harmonic_speedup;
+                        sums.max_slowdown += norm.max_slowdown;
+                    }
                 }
                 let n = n_mixes as f64;
                 EvaluationPoint {
@@ -361,6 +530,13 @@ impl EvaluationHarness {
             .collect()
     }
 }
+
+/// All-zero metrics, used as the fallback for unreachable index paths.
+const ZERO_METRICS: SystemMetrics = SystemMetrics {
+    weighted_speedup: 0.0,
+    harmonic_speedup: 0.0,
+    max_slowdown: 0.0,
+};
 
 #[cfg(test)]
 mod tests {
@@ -380,6 +556,12 @@ mod tests {
         assert!(result.all_finished());
         assert!(result.cycles < config.max_cycles);
         assert!(result.mem_stats.requests_completed() > 0);
+        // The observability snapshot rides along and agrees with the stats.
+        assert_eq!(
+            result.metrics.counter("mem.reads_completed"),
+            result.mem_stats.reads_completed
+        );
+        assert_eq!(result.metrics.counter("mem.cycles"), result.cycles);
     }
 
     #[test]

@@ -12,10 +12,10 @@
 use std::sync::Arc;
 
 use svard_cpusim::workload::WorkloadMix;
-use svard_defenses::provider::UniformThreshold;
+use svard_defenses::provider::{SharedThresholdProvider, UniformThreshold};
 use svard_defenses::DefenseKind;
 use svard_system::runner::{run_mix, run_mix_percycle};
-use svard_system::SystemConfig;
+use svard_system::{EvaluationHarness, SimMode, SweepPoint, SystemConfig};
 
 fn small_config() -> svard_system::SystemConfig {
     let mut config = SystemConfig::tiny();
@@ -59,6 +59,52 @@ fn fastforward_and_percycle_agree_for_every_defense() {
         let reference = run_mix_percycle(mix, &config, defense.build(provider.clone(), rows, 9));
         assert_eq!(fast, reference, "{defense}: fast-forward diverged");
     }
+}
+
+/// The traced harness emits a byte-identical canonical event stream for every
+/// defense — across repeated runs, for any worker-thread count, and between
+/// fast-forward and per-cycle simulation. Fast-forward-only skip events are
+/// diagnostic and never enter the canonical stream, which is what makes the
+/// cross-mode byte equality possible.
+#[test]
+fn traced_sweep_is_byte_identical_across_runs_threads_and_modes() {
+    let config = small_config();
+    let mixes = WorkloadMix::generate(2, config.cores, 81);
+    let points: Vec<SweepPoint> = DefenseKind::ALL
+        .iter()
+        .map(|&defense| SweepPoint {
+            defense,
+            provider: Arc::new(UniformThreshold::new(48)) as SharedThresholdProvider,
+            hc_first: 48,
+        })
+        .collect();
+    let harness = |threads: usize, mode: SimMode| {
+        EvaluationHarness::with_threads_and_mode(config.clone(), mixes.clone(), threads, mode)
+    };
+
+    let reference = harness(1, SimMode::FastForward);
+    let (results, trace) = reference.evaluate_all_traced(&points);
+    assert!(!trace.is_empty());
+    for defense in DefenseKind::ALL {
+        assert!(
+            trace.contains(&format!("\"defense\":\"{defense}\"")),
+            "{defense}: no trace section emitted"
+        );
+    }
+    // Double run on the same harness.
+    let (results_again, trace_again) = reference.evaluate_all_traced(&points);
+    assert_eq!(results, results_again, "double run: results diverged");
+    assert_eq!(trace, trace_again, "double run: trace diverged");
+    // Any worker-thread count.
+    for threads in [2, 8] {
+        let (r, t) = harness(threads, SimMode::FastForward).evaluate_all_traced(&points);
+        assert_eq!(results, r, "{threads} threads: results diverged");
+        assert_eq!(trace, t, "{threads} threads: trace diverged");
+    }
+    // Fast-forward vs per-cycle reference semantics.
+    let (r, t) = harness(1, SimMode::PerCycle).evaluate_all_traced(&points);
+    assert_eq!(results, r, "per-cycle: results diverged");
+    assert_eq!(trace, t, "per-cycle: trace diverged");
 }
 
 /// A fresh `WorkloadMix` from the same seed is identical — the workload
