@@ -1,6 +1,11 @@
 //! Fig. 13: slowdown of Hydra and RRS under adversarial access patterns at a
 //! worst-case `HC_first` of 64, with and without Svärd, normalized to the
 //! no-Svärd slowdown.
+//!
+//! `--zipf EXP` replaces the all-adversarial mix with a half-adversarial one:
+//! half the cores hammer, the other half run a zipf row-touch workload at
+//! exponent `EXP`, modelling an attacker sharing the system with a
+//! skewed-popularity victim.
 
 use svard_bench::*;
 use svard_core::Svard;
@@ -32,7 +37,14 @@ fn main() {
         (DefenseKind::Hydra, WorkloadSpec::adversarial_hydra()),
         (DefenseKind::Rrs, WorkloadSpec::adversarial_rrs()),
     ] {
-        let mix = WorkloadMix::adversarial(adversary, config.cores);
+        let mix = match arg_string("zipf").and_then(|v| v.parse::<f64>().ok()) {
+            Some(exponent) => WorkloadMix::adversarial_with_background(
+                adversary,
+                WorkloadSpec::zipf(exponent),
+                config.cores,
+            ),
+            None => WorkloadMix::adversarial(adversary, config.cores),
+        };
         let harness = EvaluationHarness::new(config.clone(), vec![mix]);
 
         let reference = Svard::build(&scaled_profile(&ModuleSpec::s0(), rows, 1, seed), hc, 16);

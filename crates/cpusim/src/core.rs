@@ -454,6 +454,7 @@ mod tests {
             working_set_bytes: 64 << 10,
             sequential_fraction: 0.9,
             read_fraction: 0.7,
+            zipf_exponent: 0.0,
         };
         let (ipc, _) = run_core(&spec, 50_000);
         assert!(ipc > 3.0, "ipc = {ipc}");
@@ -468,6 +469,7 @@ mod tests {
             working_set_bytes: 256 << 20,
             sequential_fraction: 0.05,
             read_fraction: 0.9,
+            zipf_exponent: 0.0,
         };
         let (ipc, requests) = run_core(&spec, 50_000);
         assert!(ipc < 2.0, "ipc = {ipc}");

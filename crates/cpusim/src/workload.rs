@@ -16,6 +16,9 @@ pub enum WorkloadClass {
     MediaBench,
     /// YCSB-like key-value serving: large working set, random accesses.
     Ycsb,
+    /// Key-value serving with a zipf row-popularity distribution: a few rows
+    /// absorb most accesses (exponent in [`WorkloadSpec::zipf_exponent`]).
+    Zipf,
     /// Adversarial pattern that thrashes Hydra's counter cache (Fig. 13a).
     AdversarialHydraCct,
     /// Adversarial pattern that repeatedly hammers one row to maximize RRS swaps
@@ -31,6 +34,7 @@ impl std::fmt::Display for WorkloadClass {
             WorkloadClass::Tpc => "tpc",
             WorkloadClass::MediaBench => "mediabench",
             WorkloadClass::Ycsb => "ycsb",
+            WorkloadClass::Zipf => "zipf",
             WorkloadClass::AdversarialHydraCct => "adv-hydra",
             WorkloadClass::AdversarialRrsHammer => "adv-rrs",
         };
@@ -54,13 +58,16 @@ pub struct WorkloadSpec {
     pub sequential_fraction: f64,
     /// Fraction of memory accesses that are reads.
     pub read_fraction: f64,
+    /// Exponent of the zipf row-popularity distribution. Only
+    /// [`WorkloadClass::Zipf`] consults it; `0.0` means uniform.
+    pub zipf_exponent: f64,
 }
 
 impl WorkloadSpec {
     /// The catalogue of synthetic workloads used to build multiprogrammed mixes:
-    /// three representatives per suite, spanning low / medium / high memory
-    /// intensity (the paper selects memory-intensive mixes; the mix generator
-    /// follows suit by weighting intensive workloads more heavily).
+    /// two to three representatives per suite, spanning low / medium / high
+    /// memory intensity (the paper selects memory-intensive mixes; the mix
+    /// generator follows suit by weighting intensive workloads more heavily).
     pub fn catalogue() -> Vec<WorkloadSpec> {
         vec![
             WorkloadSpec {
@@ -70,6 +77,7 @@ impl WorkloadSpec {
                 working_set_bytes: 256 << 20,
                 sequential_fraction: 0.25,
                 read_fraction: 0.75,
+                zipf_exponent: 0.0,
             },
             WorkloadSpec {
                 name: "spec06-libquantum-like",
@@ -78,6 +86,7 @@ impl WorkloadSpec {
                 working_set_bytes: 64 << 20,
                 sequential_fraction: 0.85,
                 read_fraction: 0.80,
+                zipf_exponent: 0.0,
             },
             WorkloadSpec {
                 name: "spec06-gcc-like",
@@ -86,6 +95,7 @@ impl WorkloadSpec {
                 working_set_bytes: 32 << 20,
                 sequential_fraction: 0.55,
                 read_fraction: 0.70,
+                zipf_exponent: 0.0,
             },
             WorkloadSpec {
                 name: "spec17-lbm-like",
@@ -94,6 +104,7 @@ impl WorkloadSpec {
                 working_set_bytes: 512 << 20,
                 sequential_fraction: 0.80,
                 read_fraction: 0.55,
+                zipf_exponent: 0.0,
             },
             WorkloadSpec {
                 name: "spec17-cam4-like",
@@ -102,6 +113,7 @@ impl WorkloadSpec {
                 working_set_bytes: 128 << 20,
                 sequential_fraction: 0.60,
                 read_fraction: 0.65,
+                zipf_exponent: 0.0,
             },
             WorkloadSpec {
                 name: "spec17-xz-like",
@@ -110,6 +122,7 @@ impl WorkloadSpec {
                 working_set_bytes: 96 << 20,
                 sequential_fraction: 0.40,
                 read_fraction: 0.72,
+                zipf_exponent: 0.0,
             },
             WorkloadSpec {
                 name: "tpc-c-like",
@@ -118,6 +131,7 @@ impl WorkloadSpec {
                 working_set_bytes: 384 << 20,
                 sequential_fraction: 0.15,
                 read_fraction: 0.60,
+                zipf_exponent: 0.0,
             },
             WorkloadSpec {
                 name: "tpc-h-like",
@@ -126,6 +140,7 @@ impl WorkloadSpec {
                 working_set_bytes: 512 << 20,
                 sequential_fraction: 0.45,
                 read_fraction: 0.85,
+                zipf_exponent: 0.0,
             },
             WorkloadSpec {
                 name: "mediabench-h264-like",
@@ -134,6 +149,7 @@ impl WorkloadSpec {
                 working_set_bytes: 16 << 20,
                 sequential_fraction: 0.90,
                 read_fraction: 0.70,
+                zipf_exponent: 0.0,
             },
             WorkloadSpec {
                 name: "mediabench-jpeg-like",
@@ -142,6 +158,7 @@ impl WorkloadSpec {
                 working_set_bytes: 8 << 20,
                 sequential_fraction: 0.92,
                 read_fraction: 0.65,
+                zipf_exponent: 0.0,
             },
             WorkloadSpec {
                 name: "ycsb-a-like",
@@ -150,6 +167,7 @@ impl WorkloadSpec {
                 working_set_bytes: 768 << 20,
                 sequential_fraction: 0.10,
                 read_fraction: 0.50,
+                zipf_exponent: 0.0,
             },
             WorkloadSpec {
                 name: "ycsb-c-like",
@@ -158,6 +176,25 @@ impl WorkloadSpec {
                 working_set_bytes: 768 << 20,
                 sequential_fraction: 0.10,
                 read_fraction: 0.95,
+                zipf_exponent: 0.0,
+            },
+            WorkloadSpec {
+                name: "zipf-kv-hot",
+                class: WorkloadClass::Zipf,
+                mem_per_kilo_instr: 55,
+                working_set_bytes: 512 << 20,
+                sequential_fraction: 0.05,
+                read_fraction: 0.90,
+                zipf_exponent: 0.99,
+            },
+            WorkloadSpec {
+                name: "zipf-kv-skew",
+                class: WorkloadClass::Zipf,
+                mem_per_kilo_instr: 65,
+                working_set_bytes: 256 << 20,
+                sequential_fraction: 0.05,
+                read_fraction: 0.50,
+                zipf_exponent: 1.2,
             },
         ]
     }
@@ -172,6 +209,7 @@ impl WorkloadSpec {
             working_set_bytes: 4 << 30,
             sequential_fraction: 0.0,
             read_fraction: 1.0,
+            zipf_exponent: 0.0,
         }
     }
 
@@ -185,6 +223,23 @@ impl WorkloadSpec {
             working_set_bytes: 1 << 20,
             sequential_fraction: 0.0,
             read_fraction: 1.0,
+            zipf_exponent: 0.0,
+        }
+    }
+
+    /// A zipf row-touch workload at an arbitrary exponent (the catalogue's
+    /// `zipf-kv-hot` shape with the skew as a parameter). Used by Fig. 13's
+    /// `--zipf` option to mix a skewed-popularity victim in with the
+    /// adversary.
+    pub fn zipf(exponent: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "zipf-background",
+            class: WorkloadClass::Zipf,
+            mem_per_kilo_instr: 55,
+            working_set_bytes: 512 << 20,
+            sequential_fraction: 0.05,
+            read_fraction: 0.90,
+            zipf_exponent: exponent,
         }
     }
 
@@ -200,6 +255,75 @@ impl WorkloadSpec {
     /// per kilo-instruction).
     pub fn intensity(&self) -> u32 {
         self.mem_per_kilo_instr
+    }
+}
+
+/// Bytes per "row" of the zipf popularity distribution (one 8 KiB DRAM row).
+const ZIPF_ROW_SHIFT: u32 = 13;
+
+/// Deterministic zipf sampler over ranks `1..=n` using rejection inversion
+/// (Hörmann & Derflinger): draw from the continuous envelope
+/// `b(x) = min(1, x^-s)` by inverting its integral, round up to the next
+/// integer rank, and accept against the discrete mass `k^-s`. Expected
+/// rejections per sample are O(1) for any `n >= 1` and `s >= 0`, and the
+/// sampler only consumes draws from the caller's RNG, so traces stay
+/// deterministic per seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfSampler {
+    n: u64,
+    s: f64,
+    /// Total area under the envelope on `[0, n]`.
+    area: f64,
+}
+
+impl ZipfSampler {
+    /// Sampler over ranks `1..=n` with exponent `s >= 0` (`s == 0` is uniform).
+    pub fn new(n: u64, s: f64) -> Self {
+        let n = n.max(1);
+        let n_f = n as f64;
+        // Point mass 1 at rank 1 plus the integral of x^-s over [1, n].
+        let area = if (s - 1.0).abs() < 1e-9 {
+            1.0 + n_f.ln()
+        } else {
+            (n_f.powf(1.0 - s) - s) / (1.0 - s)
+        };
+        Self { n, s, area }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> u64 {
+        self.n
+    }
+
+    /// Invert the envelope's CDF at `p` in `[0, 1)`, returning `x` in `[0, n)`.
+    fn inv_cdf(&self, p: f64) -> f64 {
+        let scaled = p * self.area;
+        if scaled <= 1.0 {
+            scaled
+        } else if (self.s - 1.0).abs() < 1e-9 {
+            (scaled - 1.0).exp()
+        } else {
+            (scaled * (1.0 - self.s) + self.s).powf(1.0 / (1.0 - self.s))
+        }
+    }
+
+    /// Draw one rank in `1..=n`; rank 1 is the most popular.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        loop {
+            let x = self.inv_cdf(rng.random::<f64>());
+            let k = (x as u64 + 1).min(self.n);
+            // Accept with probability mass(k) / envelope(x). On [0, 1] the
+            // envelope is 1 and k == 1 with mass 1, so that region always
+            // accepts; elsewhere k > x, so the ratio is below 1.
+            let ratio = if x <= 1.0 {
+                1.0
+            } else {
+                (k as f64 / x).powf(-self.s)
+            };
+            if rng.random::<f64>() < ratio {
+                return k;
+            }
+        }
     }
 }
 
@@ -227,18 +351,27 @@ pub struct TraceGenerator {
     /// Two fixed rows used by the RRS adversarial pattern (alternating conflicting
     /// accesses to keep re-activating the hammered row).
     hammer_toggle: bool,
+    /// Row-popularity sampler, present only for [`WorkloadClass::Zipf`].
+    zipf: Option<ZipfSampler>,
 }
 
 impl TraceGenerator {
     /// Create a generator for `spec` running on `core`, with a deterministic seed.
     pub fn new(spec: &WorkloadSpec, core: usize, seed: u64) -> Self {
         let base = (core as u64) << 36;
+        let zipf = (spec.class == WorkloadClass::Zipf).then(|| {
+            ZipfSampler::new(
+                (spec.working_set_bytes >> ZIPF_ROW_SHIFT).max(1),
+                spec.zipf_exponent,
+            )
+        });
         Self {
             spec: spec.clone(),
             rng: StdRng::seed_from_u64(seed ^ ((core as u64) << 8) ^ 0x7A11_AD00),
             base,
             cursor: 0,
             hammer_toggle: false,
+            zipf,
         }
     }
 
@@ -273,6 +406,27 @@ impl TraceGenerator {
                 // A fresh, never-reused row every access.
                 self.cursor += 1 << 13;
                 self.base + (self.cursor % self.spec.working_set_bytes)
+            }
+            WorkloadClass::Zipf => {
+                // Row-popularity skew: draw a zipf rank, spread it across the
+                // working set's 8 KiB rows with an odd-multiplier scramble (a
+                // bijection for the power-of-two row counts the catalogue
+                // uses, so hot ranks don't cluster at low addresses), then
+                // pick a random cache line within the row. The occasional
+                // sequential run rides on the shared cursor.
+                if self.rng.random::<f64>() < self.spec.sequential_fraction {
+                    self.cursor = (self.cursor + 64) % self.spec.working_set_bytes;
+                } else {
+                    let rows = (self.spec.working_set_bytes >> ZIPF_ROW_SHIFT).max(1);
+                    let rank = match &self.zipf {
+                        Some(sampler) => sampler.sample(&mut self.rng),
+                        None => 1,
+                    };
+                    let row = (rank - 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) % rows;
+                    let col = self.rng.random_range(0..(1u64 << ZIPF_ROW_SHIFT) / 64) * 64;
+                    self.cursor = ((row << ZIPF_ROW_SHIFT) | col) % self.spec.working_set_bytes;
+                }
+                self.base + self.cursor
             }
             _ => {
                 if self.rng.random::<f64>() < self.spec.sequential_fraction {
@@ -334,6 +488,29 @@ impl WorkloadMix {
             workloads: (0..cores).map(|_| spec.clone()).collect(),
         }
     }
+
+    /// A half-adversarial mix: the first `ceil(cores/2)` cores run the
+    /// adversary, the rest run `background` (Fig. 13 with `--zipf`, where the
+    /// attacker shares the system with a skewed-popularity victim).
+    pub fn adversarial_with_background(
+        spec: WorkloadSpec,
+        background: WorkloadSpec,
+        cores: usize,
+    ) -> WorkloadMix {
+        let attackers = cores.div_ceil(2);
+        WorkloadMix {
+            id: usize::MAX,
+            workloads: (0..cores)
+                .map(|core| {
+                    if core < attackers {
+                        spec.clone()
+                    } else {
+                        background.clone()
+                    }
+                })
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -341,11 +518,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalogue_spans_five_suites() {
+    fn catalogue_spans_six_suites() {
         let classes: std::collections::BTreeSet<WorkloadClass> =
             WorkloadSpec::catalogue().iter().map(|w| w.class).collect();
-        assert_eq!(classes.len(), 5);
-        assert!(WorkloadSpec::catalogue().len() >= 10);
+        assert_eq!(classes.len(), 6);
+        assert!(classes.contains(&WorkloadClass::Zipf));
+        assert!(WorkloadSpec::catalogue().len() >= 12);
     }
 
     #[test]
@@ -418,6 +596,98 @@ mod tests {
         let addrs: std::collections::BTreeSet<u64> =
             (0..500).map(|_| generator.next_event().address).collect();
         assert_eq!(addrs.len(), 500);
+    }
+
+    #[test]
+    fn zipf_sampler_is_deterministic_and_in_range() {
+        let sampler = ZipfSampler::new(1024, 0.99);
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for _ in 0..2000 {
+            let ra = sampler.sample(&mut a);
+            assert_eq!(ra, sampler.sample(&mut b));
+            assert!((1..=1024).contains(&ra));
+        }
+    }
+
+    #[test]
+    fn zipf_rank_one_is_most_frequent() {
+        let sampler = ZipfSampler::new(256, 0.99);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0u32; 257];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        let top = counts[1];
+        assert!(counts.iter().skip(2).all(|&c| c < top), "rank 1 = {top}");
+        // Zipf(0.99): rank 1 should absorb a sizable share of all draws.
+        assert!(top > 2_000, "rank 1 share too small: {top}");
+    }
+
+    #[test]
+    fn higher_exponent_concentrates_more_mass() {
+        let head_share = |s: f64| {
+            let sampler = ZipfSampler::new(4096, s);
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10_000)
+                .filter(|_| sampler.sample(&mut rng) <= 10)
+                .count()
+        };
+        let mild = head_share(0.5);
+        let steep = head_share(1.5);
+        assert!(
+            steep > mild * 2,
+            "head share did not grow with exponent: {mild} vs {steep}"
+        );
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let sampler = ZipfSampler::new(8, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 9];
+        for _ in 0..8_000 {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        assert!(
+            counts.iter().skip(1).all(|&c| (800..1200).contains(&c)),
+            "counts = {counts:?}"
+        );
+    }
+
+    #[test]
+    fn zipf_trace_concentrates_on_hot_rows() {
+        let spec = WorkloadSpec::catalogue()
+            .into_iter()
+            .find(|w| w.name == "zipf-kv-hot")
+            .unwrap();
+        let mut generator = TraceGenerator::new(&spec, 2, 13);
+        let mut row_counts: std::collections::BTreeMap<u64, u32> =
+            std::collections::BTreeMap::new();
+        for _ in 0..5_000 {
+            let e = generator.next_event();
+            assert_eq!(e.address >> 36, 2);
+            assert_eq!(e.address % 64, 0);
+            *row_counts.entry(e.address >> ZIPF_ROW_SHIFT).or_insert(0) += 1;
+        }
+        let hottest = row_counts.values().copied().max().unwrap_or(0);
+        // The working set holds 64K rows; uniform traffic would put ~0.08
+        // accesses on each. The zipf head row must stand far above that.
+        assert!(hottest > 100, "hottest row only saw {hottest} accesses");
+    }
+
+    #[test]
+    fn adversarial_background_mix_splits_the_cores() {
+        let mix = WorkloadMix::adversarial_with_background(
+            WorkloadSpec::adversarial_rrs(),
+            WorkloadSpec::zipf(1.1),
+            5,
+        );
+        assert_eq!(mix.workloads.len(), 5);
+        assert!(mix.workloads[..3].iter().all(WorkloadSpec::is_adversarial));
+        assert!(mix.workloads[3..]
+            .iter()
+            .all(|w| w.class == WorkloadClass::Zipf && w.zipf_exponent == 1.1));
     }
 
     #[test]

@@ -13,6 +13,12 @@ pub struct LintConfig {
     pub rules: BTreeMap<String, bool>,
     /// Crates subject to the determinism rule (names as under `crates/`).
     pub sim_crates: Vec<String>,
+    /// Crates explicitly declared *non*-simulation (wall clock, env, and
+    /// entropy allowed). Every crate under `crates/` must appear in exactly
+    /// one of `sim_crates` or `non_sim_crates`; anything unlisted is an
+    /// error, so new crates are classified deliberately rather than falling
+    /// through the determinism rule by accident.
+    pub non_sim_crates: Vec<String>,
     /// Path (relative to the workspace root) of the panic baseline file.
     pub baseline_path: String,
     /// Directories (relative to the root) never scanned.
@@ -27,10 +33,16 @@ pub struct LintConfig {
 impl Default for LintConfig {
     fn default() -> Self {
         Self {
-            rules: ["determinism", "panic", "hot-path-alloc", "no-unsafe"]
-                .iter()
-                .map(|r| (r.to_string(), true))
-                .collect(),
+            rules: [
+                "determinism",
+                "panic",
+                "hot-path-alloc",
+                "no-unsafe",
+                "crate-class",
+            ]
+            .iter()
+            .map(|r| (r.to_string(), true))
+            .collect(),
             sim_crates: [
                 "chip",
                 "cpusim",
@@ -38,6 +50,12 @@ impl Default for LintConfig {
                 "memsim",
                 "system",
                 "vulnerability",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            non_sim_crates: [
+                "analysis", "bench", "bender", "core", "dram", "lint", "obs", "server",
             ]
             .iter()
             .map(|s| s.to_string())
@@ -118,6 +136,9 @@ pub fn parse_config(text: &str) -> Result<LintConfig, String> {
             }
             "determinism" => match key {
                 "crates" => config.sim_crates = parse_string_array(value).map_err(|m| err(&m))?,
+                "non_sim" => {
+                    config.non_sim_crates = parse_string_array(value).map_err(|m| err(&m))?
+                }
                 "forbidden" => {
                     config.forbidden_calls = parse_string_array(value).map_err(|m| err(&m))?
                 }
@@ -233,8 +254,25 @@ mod tests {
     #[test]
     fn defaults_enable_all_rules() {
         let c = LintConfig::default();
-        for rule in ["determinism", "panic", "hot-path-alloc", "no-unsafe"] {
+        for rule in [
+            "determinism",
+            "panic",
+            "hot-path-alloc",
+            "no-unsafe",
+            "crate-class",
+        ] {
             assert!(c.rule_enabled(rule), "{rule} should default on");
+        }
+    }
+
+    #[test]
+    fn default_crate_lists_are_disjoint() {
+        let c = LintConfig::default();
+        for name in &c.sim_crates {
+            assert!(
+                !c.non_sim_crates.contains(name),
+                "`{name}` is listed as both sim and non-sim"
+            );
         }
     }
 
@@ -248,6 +286,7 @@ no-unsafe = false
 
 [determinism]
 crates = ["memsim", "defenses"]
+non_sim = ["bench", "server"]
 
 [panic]
 baseline = "custom-baseline.txt"
@@ -259,6 +298,7 @@ exclude = ["target", "vendor"]
         assert!(c.rule_enabled("determinism"));
         assert!(!c.rule_enabled("no-unsafe"));
         assert_eq!(c.sim_crates, vec!["memsim", "defenses"]);
+        assert_eq!(c.non_sim_crates, vec!["bench", "server"]);
         assert_eq!(c.baseline_path, "custom-baseline.txt");
         assert_eq!(c.exclude, vec!["target", "vendor"]);
     }

@@ -12,6 +12,8 @@
 //! | `panic`          | non-test library code| unwrap/expect/panic!/indexing ratchet |
 //! | `hot-path-alloc` | `lint: hot-path`     | allocation in fenced hot regions      |
 //! | `no-unsafe`      | workspace-wide       | any `unsafe` token                    |
+//! | `crate-class`    | `crates/*`           | crates in neither the sim nor the     |
+//! |                  |                      | `non_sim` list of `lint.toml`         |
 //!
 //! See `crates/lint/README.md` for the rule catalogue, the baseline-ratchet
 //! workflow, and the inline suppression syntax.
@@ -87,21 +89,30 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// The crate name a workspace-relative path belongs to: `crates/<name>/…` →
+/// `<name>`, `vendor/<name>/…` → `vendor/<name>`, anything else → `""` (the
+/// root crate).
+pub fn crate_of(rel_path: &str) -> String {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    match parts.first() {
+        Some(&"crates") if parts.len() > 1 => parts[1].to_string(),
+        Some(&"vendor") if parts.len() > 1 => format!("vendor/{}", parts[1]),
+        _ => String::new(),
+    }
+}
+
 /// Classify a workspace-relative path for analysis.
 ///
-/// * The crate name (`crates/<name>/…` → `<name>`, `vendor/<name>/…` →
-///   `vendor/<name>`, anything else → the root crate) decides whether the
-///   determinism rule applies.
+/// * The crate name (see [`crate_of`]) decides whether the determinism rule
+///   applies: only crates listed in `sim_crates` are checked. Crates under
+///   `crates/` that appear in *neither* `sim_crates` nor `non_sim_crates`
+///   are reported by the `crate-class` rule in [`scan_workspace`].
 /// * Panic sites are only counted in non-test library code: files under a
 ///   `src/` directory, excluding `src/bin/`, with `tests/`, `benches/`, and
 ///   `examples/` trees excluded entirely.
 pub fn classify(rel_path: &str, config: &LintConfig) -> FileClass {
     let parts: Vec<&str> = rel_path.split('/').collect();
-    let crate_name = match parts.first() {
-        Some(&"crates") if parts.len() > 1 => parts[1].to_string(),
-        Some(&"vendor") if parts.len() > 1 => format!("vendor/{}", parts[1]),
-        _ => String::new(), // root crate
-    };
+    let crate_name = crate_of(rel_path);
     let sim_crate = config.sim_crates.contains(&crate_name);
     let in_src = parts.contains(&"src");
     let in_nonlib = parts
@@ -160,8 +171,16 @@ fn collect_rust_files(root: &Path, config: &LintConfig) -> std::io::Result<Vec<S
 /// all-zero, so every panic site errors until one is recorded).
 pub fn scan_workspace(root: &Path, config: &LintConfig) -> std::io::Result<WorkspaceReport> {
     let mut report = WorkspaceReport::default();
+    let mut unlisted: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     for rel in collect_rust_files(root, config)? {
         let source = std::fs::read_to_string(root.join(&rel))?;
+        let crate_name = crate_of(&rel);
+        if rel.starts_with("crates/")
+            && !config.sim_crates.contains(&crate_name)
+            && !config.non_sim_crates.contains(&crate_name)
+        {
+            unlisted.insert(crate_name);
+        }
         let class = classify(&rel, config);
         let file_report = analyze_source(&rel, &source, class, config);
         report.diagnostics.extend(file_report.diagnostics);
@@ -171,6 +190,22 @@ pub fn scan_workspace(root: &Path, config: &LintConfig) -> std::io::Result<Works
                 .insert(rel.clone(), file_report.panic_sites.len());
         }
         report.files_scanned += 1;
+    }
+
+    if config.rule_enabled("crate-class") {
+        for name in unlisted {
+            report.diagnostics.push(Diagnostic {
+                file: format!("crates/{name}"),
+                line: 1,
+                rule: "crate-class".to_string(),
+                message: format!(
+                    "crate `{name}` is listed in neither `crates` (simulation, deterministic) \
+                     nor `non_sim` (wall clock allowed) under [determinism] in lint.toml; \
+                     classify it explicitly"
+                ),
+                level: Level::Error,
+            });
+        }
     }
 
     let baseline_file = root.join(&config.baseline_path);
@@ -278,6 +313,42 @@ mod tests {
         let root = classify("src/lib.rs", &c);
         assert!(!root.sim_crate);
         assert!(root.count_panics);
+    }
+
+    #[test]
+    fn crate_of_extracts_the_owning_crate() {
+        assert_eq!(crate_of("crates/server/src/server.rs"), "server");
+        assert_eq!(crate_of("vendor/rand/src/lib.rs"), "vendor/rand");
+        assert_eq!(crate_of("src/lib.rs"), "");
+    }
+
+    #[test]
+    fn unlisted_crates_are_a_crate_class_error() {
+        let dir = std::env::temp_dir().join(format!("svard-lint-class-{}", std::process::id()));
+        let src = dir.join("crates/mystery/src");
+        std::fs::create_dir_all(&src).expect("mkdir");
+        std::fs::write(src.join("lib.rs"), "pub fn f() {}\n").expect("write");
+        let config = LintConfig::default();
+        let report = scan_workspace(&dir, &config).expect("scan");
+        std::fs::remove_dir_all(&dir).ok();
+        let classes: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "crate-class")
+            .collect();
+        assert_eq!(classes.len(), 1, "{:#?}", report.diagnostics);
+        assert_eq!(classes[0].file, "crates/mystery");
+        assert_eq!(classes[0].level, Level::Error);
+
+        // Disabling the rule silences it.
+        let mut off = LintConfig::default();
+        off.rules.insert("crate-class".to_string(), false);
+        let src2 = dir.join("crates/mystery/src");
+        std::fs::create_dir_all(&src2).expect("mkdir");
+        std::fs::write(src2.join("lib.rs"), "pub fn f() {}\n").expect("write");
+        let report = scan_workspace(&dir, &off).expect("scan");
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(report.diagnostics.iter().all(|d| d.rule != "crate-class"));
     }
 
     #[test]

@@ -132,6 +132,36 @@ fn obs_wall_clock_timer_is_allowed_outside_sim_crates() {
 }
 
 #[test]
+fn server_crate_is_classified_non_sim_and_may_use_the_wall_clock() {
+    // `crates/server` is declared in `non_sim` (lint.toml), so `classify`
+    // must not mark it a sim crate, and the determinism rule must stay quiet
+    // over server code that reads the wall clock and the core count.
+    let config = LintConfig::default();
+    assert!(config.non_sim_crates.contains(&"server".to_string()));
+    let class = svard_lint::classify("crates/server/src/server.rs", &config);
+    assert!(!class.sim_crate);
+    assert!(class.count_panics);
+
+    let report = analyze_fixture("server_nonsim.rs", class);
+    assert!(
+        lines_for(&report, "determinism").is_empty(),
+        "non-sim server code wrongly flagged: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn server_style_wall_clock_use_is_flagged_in_sim_crates() {
+    let report = analyze_fixture("server_nonsim.rs", SIM);
+    assert_eq!(
+        lines_for(&report, "determinism"),
+        vec![7, 13],
+        "full report: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
 fn clean_fixture_produces_no_findings_under_every_rule() {
     let report = analyze_fixture("clean.rs", BOTH);
     assert!(

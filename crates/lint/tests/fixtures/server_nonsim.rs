@@ -1,0 +1,14 @@
+//! Fixture: server-style code (sweep-job server, load generator) measures
+//! wall-clock latency and sizes its thread pool from the machine. Legal in a
+//! crate classified `non_sim` (e.g. `crates/server`); a determinism error in
+//! a simulation crate.
+
+fn serve_one(job: &Job) -> f64 {
+    let start = Instant::now();
+    run(job);
+    start.elapsed().as_secs_f64()
+}
+
+fn executor_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

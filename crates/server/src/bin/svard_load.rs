@@ -1,0 +1,165 @@
+//! `svard-load`: load generator and consistency checker for `svard-server`.
+//!
+//! ```text
+//! svard-load [--addr HOST:PORT] [--connections 1,2] [--workers 1] [--jobs 1]
+//!            [--defenses PARA] [--providers none,S0] [--hc-values 64]
+//!            [--mixes 1] [--cores 2] [--instructions 2000] [--rows 256]
+//!            [--seed 42] [--bins 8] [--prefix load] [--csv PATH] [--check]
+//! ```
+//!
+//! Sweeps connection counts (and harness worker counts) against a running
+//! server, driving `--jobs` jobs per connection, and emits a throughput /
+//! latency CSV to stdout (and `--csv PATH` if given). With `--check`, also
+//! submits the same grid as two fresh jobs plus one resumed job and exits 1
+//! unless all point lines are bit-identical (after job-id normalization).
+
+use svard_server::cli::{arg_flag, arg_list, arg_string, arg_u64, arg_usize};
+use svard_server::json::Json;
+use svard_server::protocol::parse_defense;
+use svard_server::{run_load, Client, GridSpec};
+
+fn grid_from_args(workers: usize) -> Result<GridSpec, String> {
+    let defenses = arg_list("defenses", &["PARA"])
+        .iter()
+        .map(|name| parse_defense(name).ok_or(format!("unknown defense {name:?}")))
+        .collect::<Result<_, String>>()?;
+    let grid = GridSpec {
+        defenses,
+        providers: arg_list("providers", &["none", "S0"]),
+        hc_values: arg_list("hc-values", &["64"])
+            .iter()
+            .map(|v| v.parse().map_err(|_| format!("bad hc value {v:?}")))
+            .collect::<Result<_, String>>()?,
+        mixes: arg_usize("mixes", 1),
+        cores: arg_usize("cores", 2),
+        instructions: arg_u64("instructions", 2_000),
+        rows: arg_usize("rows", 256),
+        seed: arg_u64("seed", 42),
+        bins: arg_usize("bins", 8),
+        workers,
+    };
+    grid.validate()?;
+    Ok(grid)
+}
+
+/// Replace the job id so point lines from different jobs compare equal, and
+/// re-render canonically.
+fn normalize(line: &str) -> Result<String, String> {
+    let mut record = Json::parse(line)?;
+    if let Some(map) = record.as_object_mut() {
+        map.insert("job_id".to_string(), Json::str("X"));
+    }
+    Ok(record.render())
+}
+
+fn sorted_points(lines: &[String]) -> Result<Vec<String>, String> {
+    let mut normalized = lines
+        .iter()
+        .map(|l| normalize(l))
+        .collect::<Result<Vec<_>, _>>()?;
+    normalized.sort();
+    Ok(normalized)
+}
+
+/// Submit the same grid as two fresh jobs and one resumed job; every point
+/// line must be bit-identical after job-id normalization.
+fn check(addr: &str, grid: &GridSpec, prefix: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr)?;
+    let first = client.run_job(&format!("{prefix}-check-a"), grid)?;
+    let second = client.run_job(&format!("{prefix}-check-b"), grid)?;
+    let resumed = client.run_job(&format!("{prefix}-check-a"), grid)?;
+    if resumed.resumed != first.point_lines.len() {
+        return Err(format!(
+            "resume replayed {} of {} points",
+            resumed.resumed,
+            first.point_lines.len()
+        ));
+    }
+    if resumed.point_lines != first.point_lines {
+        return Err("resumed job did not replay byte-identical point lines".to_string());
+    }
+    if sorted_points(&first.point_lines)? != sorted_points(&second.point_lines)? {
+        return Err("two fresh jobs with the same grid produced different points".to_string());
+    }
+    Ok(())
+}
+
+fn main() {
+    let addr = arg_string("addr").unwrap_or_else(|| "127.0.0.1:7979".to_string());
+    let connections: Vec<usize> = arg_list("connections", &["1", "2"])
+        .iter()
+        .filter_map(|v| v.parse().ok())
+        .filter(|&c| c > 0)
+        .collect();
+    let workers_list: Vec<usize> = arg_list("workers", &["1"])
+        .iter()
+        .filter_map(|v| v.parse().ok())
+        .collect();
+    let jobs = arg_usize("jobs", 1);
+    let prefix = arg_string("prefix").unwrap_or_else(|| "load".to_string());
+
+    let mut csv = String::from(
+        "connections,workers,jobs,points,wall_seconds,points_per_second,mean_point_latency_s\n",
+    );
+    for &workers in &workers_list {
+        let grid = match grid_from_args(workers) {
+            Ok(grid) => grid,
+            Err(e) => {
+                eprintln!("svard-load: {e}");
+                std::process::exit(2);
+            }
+        };
+        for &conns in &connections {
+            match run_load(&addr, conns, jobs, &grid, &format!("{prefix}-w{workers}")) {
+                Ok(point) => {
+                    eprintln!(
+                        "# {} connections x {} jobs ({} workers): {} points in {:.3}s ({:.2}/s)",
+                        point.connections,
+                        point.jobs,
+                        point.workers,
+                        point.points,
+                        point.wall_seconds,
+                        point.points_per_second
+                    );
+                    csv.push_str(&format!(
+                        "{},{},{},{},{:.6},{:.3},{:.6}\n",
+                        point.connections,
+                        point.workers,
+                        point.jobs,
+                        point.points,
+                        point.wall_seconds,
+                        point.points_per_second,
+                        point.mean_point_latency
+                    ));
+                }
+                Err(e) => {
+                    eprintln!("svard-load: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    print!("{csv}");
+    if let Some(path) = arg_string("csv") {
+        if let Err(e) = std::fs::write(&path, &csv) {
+            eprintln!("svard-load: write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if arg_flag("check") {
+        let grid = match grid_from_args(workers_list.first().copied().unwrap_or(1)) {
+            Ok(grid) => grid,
+            Err(e) => {
+                eprintln!("svard-load: {e}");
+                std::process::exit(2);
+            }
+        };
+        match check(&addr, &grid, &prefix) {
+            Ok(()) => eprintln!("# check passed: fresh and resumed jobs are bit-identical"),
+            Err(e) => {
+                eprintln!("svard-load: check failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

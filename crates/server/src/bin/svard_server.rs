@@ -1,0 +1,42 @@
+//! `svard-server`: long-running sweep-job server over TCP.
+//!
+//! ```text
+//! svard-server [--addr 127.0.0.1:7979] [--state-dir DIR] [--executors N]
+//! ```
+//!
+//! Prints `READY <addr>` once the listener is bound, then serves until
+//! killed. Job journals land in `--state-dir`; restarting with the same
+//! directory resumes interrupted jobs (completed points replay
+//! byte-identically instead of re-simulating).
+
+use std::path::PathBuf;
+
+use svard_server::cli::{arg_string, arg_usize};
+use svard_server::{serve, ServerConfig};
+
+fn main() {
+    let config = ServerConfig {
+        addr: arg_string("addr").unwrap_or_else(|| "127.0.0.1:7979".to_string()),
+        state_dir: PathBuf::from(
+            arg_string("state-dir").unwrap_or_else(|| "svard-jobs".to_string()),
+        ),
+        executors: arg_usize("executors", 2),
+    };
+    let state_dir = config.state_dir.display().to_string();
+    match serve(config) {
+        Ok(handle) => {
+            println!("READY {}", handle.addr());
+            eprintln!(
+                "# svard-server listening on {} (state: {state_dir})",
+                handle.addr()
+            );
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(1));
+            }
+        }
+        Err(e) => {
+            eprintln!("svard-server: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Grid → harness translation and streamed job execution.
+//!
+//! [`run_job`] is the executor-side entry point: it opens (or resumes) the
+//! job journal, replays already-completed points verbatim, builds the
+//! evaluation harness and threshold providers for the remaining points, and
+//! streams each freshly completed point the moment the harness reduces it.
+//! Every point line is journaled *before* it is sent, so a crash between the
+//! two loses nothing, and a resumed run replays the identical bytes.
+//!
+//! Determinism: traces and defenses are seeded from the grid, results land
+//! in input-order slots, and [`crate::protocol::point_line`] is the only
+//! point renderer — so the full set of point lines for a job is bit-identical
+//! at any worker count, with or without a kill-and-resume in the middle.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+
+use svard_core::Svard;
+use svard_cpusim::workload::WorkloadMix;
+use svard_defenses::{SharedThresholdProvider, UniformThreshold};
+use svard_obs::{PhaseProfile, WallTimer};
+use svard_system::parallel::default_threads;
+use svard_system::{EvaluationHarness, SimMode, SweepPoint, SystemConfig};
+use svard_vulnerability::{ModuleSpec, ProfileGenerator};
+
+use crate::jobstore::{JobJournal, JobStore};
+use crate::json::{merge_metric_objects, Json};
+use crate::protocol::{accepted_line, point_line, summary_line, GridSpec, PROVIDER_NONE};
+
+/// What happened to a job run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobReport {
+    /// Total sweep points in the grid.
+    pub points: usize,
+    /// Points completed (journaled) by the end of this run.
+    pub completed: usize,
+    /// Points replayed from the journal rather than re-simulated.
+    pub resumed: usize,
+    /// Whether the run stopped early (client gone or server stopping).
+    pub cancelled: bool,
+}
+
+/// Build the evaluation harness and sweep points for a grid, exactly as a
+/// job run does. Exposed so tests (and offline tools) can compute the
+/// expected wire lines without a server in the loop.
+pub fn build_harness(grid: &GridSpec) -> (EvaluationHarness, Vec<SweepPoint>) {
+    let mut config = SystemConfig::table4_scaled()
+        .with_instructions(grid.instructions)
+        .with_cores(grid.cores);
+    config.memory.geometry.rows_per_bank = grid.rows;
+    config.seed = grid.seed;
+    let mixes = WorkloadMix::generate(grid.mixes, config.cores, grid.seed);
+    let workers = if grid.workers == 0 {
+        default_threads()
+    } else {
+        grid.workers
+    };
+    let harness =
+        EvaluationHarness::with_threads_and_mode(config, mixes, workers, SimMode::FastForward);
+
+    // One vulnerability profile per referenced module label, then one provider
+    // per (label, HC_first) pair, shared across defenses.
+    let mut profiles: BTreeMap<&str, _> = BTreeMap::new();
+    for label in &grid.providers {
+        if label.eq_ignore_ascii_case(PROVIDER_NONE) {
+            continue;
+        }
+        if let Some(spec) = ModuleSpec::by_label(label) {
+            profiles.insert(
+                label.as_str(),
+                ProfileGenerator::new(grid.seed).generate(&spec.scaled(grid.rows), 1),
+            );
+        }
+    }
+    let mut providers: BTreeMap<(String, u64), SharedThresholdProvider> = BTreeMap::new();
+    let mut points = Vec::new();
+    for spec in grid.points() {
+        let key = (spec.provider.clone(), spec.hc_first);
+        let provider = providers
+            .entry(key)
+            .or_insert_with(|| {
+                if spec.provider.eq_ignore_ascii_case(PROVIDER_NONE) {
+                    Arc::new(UniformThreshold::new(spec.hc_first))
+                } else {
+                    profiles
+                        .get(spec.provider.as_str())
+                        .map(|profile| Svard::build(profile, spec.hc_first, grid.bins).provider())
+                        .unwrap_or_else(|| Arc::new(UniformThreshold::new(spec.hc_first)))
+                }
+            })
+            .clone();
+        points.push(SweepPoint {
+            defense: spec.defense,
+            provider,
+            hc_first: spec.hc_first,
+        });
+    }
+    (harness, points)
+}
+
+/// Merge the `metrics` objects of journaled point lines (in index order)
+/// into one summary object — the JSON-domain mirror of
+/// `MetricsSnapshot::merge`, so a resumed job's summary is byte-identical
+/// to a fresh run's.
+pub fn merge_point_metrics(completed: &BTreeMap<usize, String>) -> Json {
+    let mut merged = Json::Obj(BTreeMap::new());
+    for line in completed.values() {
+        if let Some(metrics) = Json::parse(line)
+            .ok()
+            .and_then(|r| r.get("metrics").cloned())
+        {
+            merge_metric_objects(&mut merged, &metrics);
+        }
+    }
+    merged
+}
+
+fn send(out: &Sender<String>, line: String) -> bool {
+    out.send(line).is_ok()
+}
+
+/// Run one sweep job end to end, streaming response lines into `out`.
+///
+/// Returns an error only for setup failures (journal I/O, grid mismatch) —
+/// the caller turns that into an `error` record. A vanished client or a
+/// raised `stop` flag is not an error: the run cancels, the journal keeps
+/// whatever finished, and the report says so.
+pub fn run_job(
+    job_id: &str,
+    grid: &GridSpec,
+    out: &Sender<String>,
+    store: &JobStore,
+    stop: &AtomicBool,
+) -> Result<JobReport, String> {
+    let journal = store.open_job(job_id, grid)?;
+    let specs = grid.points();
+    let n = specs.len();
+    let resumed = journal.completed.range(..n).count();
+    let report = |completed: usize, cancelled: bool| JobReport {
+        points: n,
+        completed,
+        resumed,
+        cancelled,
+    };
+
+    if !send(out, accepted_line(job_id, n, resumed)) {
+        return Ok(report(resumed, true));
+    }
+    for line in journal.completed.range(..n).map(|(_, l)| l.clone()) {
+        if !send(out, line) {
+            return Ok(report(resumed, true));
+        }
+    }
+
+    let timer = WallTimer::start();
+    let (fresh, sink) = if resumed < n {
+        let (harness, points) = build_harness(grid);
+        let mut mask = vec![true; n];
+        for (&i, _) in journal.completed.range(..n) {
+            if let Some(slot) = mask.get_mut(i) {
+                *slot = false;
+            }
+        }
+        // Journal-then-send under one lock: the callback is already
+        // serialized by the harness, the Mutex just satisfies `Sync`.
+        let sink = Mutex::new(StreamSink {
+            journal,
+            out: out.clone(),
+            failed: false,
+        });
+        let _ = harness.evaluate_masked_streamed(&points, &mask, |i, point, metrics| {
+            if stop.load(Ordering::Acquire) {
+                return false;
+            }
+            let line = point_line(job_id, i, point, &metrics.to_json());
+            let mut sink = match sink.lock() {
+                Ok(guard) => guard,
+                // lint: allow(panic) -- poisoned only if a worker panicked; propagating is correct
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if sink.journal.record_point(i, &line).is_err() {
+                sink.failed = true;
+                return false;
+            }
+            if !send(&sink.out, line) {
+                sink.failed = true;
+                return false;
+            }
+            true
+        });
+        let sink = match sink.into_inner() {
+            Ok(inner) => inner,
+            // lint: allow(panic) -- poisoned only if a worker panicked; propagating is correct
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let profile = PhaseProfile {
+            phase: "job",
+            wall_seconds: timer.elapsed_seconds(),
+            tasks: sink.journal.completed.range(..n).count() - resumed,
+            // Per-task busy time is not tracked on the streamed path; the
+            // profile reports span + throughput only.
+            busy_seconds: 0.0,
+            threads: if grid.workers == 0 {
+                default_threads()
+            } else {
+                grid.workers
+            },
+        };
+        let completed = sink.journal.completed.range(..n).count();
+        if sink.failed || stop.load(Ordering::Acquire) || completed < n {
+            return Ok(report(completed, true));
+        }
+        (Some((harness, profile)), sink)
+    } else {
+        (
+            None,
+            StreamSink {
+                journal,
+                out: out.clone(),
+                failed: false,
+            },
+        )
+    };
+
+    let merged = merge_point_metrics(&sink.journal.completed);
+    let mut profiles: Vec<PhaseProfile> = Vec::new();
+    if let Some((harness, sweep_profile)) = &fresh {
+        profiles.extend(harness.prep_profile().iter().cloned());
+        profiles.push(sweep_profile.clone());
+    }
+    let summary = summary_line(job_id, n, n, resumed, &merged, &profiles);
+    let cancelled = !send(&sink.out, summary);
+    Ok(report(n, cancelled))
+}
+
+struct StreamSink {
+    journal: JobJournal,
+    out: Sender<String>,
+    failed: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn tiny_grid() -> GridSpec {
+        GridSpec {
+            defenses: vec![svard_defenses::DefenseKind::Para],
+            providers: vec!["none".to_string(), "S0".to_string()],
+            hc_values: vec![64],
+            mixes: 1,
+            cores: 2,
+            instructions: 1_000,
+            rows: 256,
+            seed: 11,
+            bins: 8,
+            workers: 1,
+        }
+    }
+
+    fn temp_store(tag: &str) -> JobStore {
+        let dir = std::env::temp_dir().join(format!("svard-bridge-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        JobStore::new(&dir).unwrap()
+    }
+
+    #[test]
+    fn run_job_streams_accepted_points_and_summary() {
+        let store = temp_store("stream");
+        let grid = tiny_grid();
+        let (tx, rx) = channel();
+        let stop = AtomicBool::new(false);
+        let report = run_job("smoke", &grid, &tx, &store, &stop).unwrap();
+        assert_eq!(
+            report,
+            JobReport {
+                points: 2,
+                completed: 2,
+                resumed: 0,
+                cancelled: false
+            }
+        );
+        let lines: Vec<String> = rx.try_iter().collect();
+        assert_eq!(lines.len(), 4, "accepted + 2 points + summary");
+        assert!(lines[0].contains("\"type\":\"accepted\""));
+        assert!(lines[1].contains("\"type\":\"point\""));
+        assert!(lines[3].contains("\"type\":\"summary\""));
+        assert!(lines[3].contains("\"completed\":2"));
+    }
+
+    #[test]
+    fn rerunning_a_finished_job_replays_identical_points() {
+        let store = temp_store("replay");
+        let grid = tiny_grid();
+        let stop = AtomicBool::new(false);
+        let (tx, rx) = channel();
+        run_job("again", &grid, &tx, &store, &stop).unwrap();
+        let first: Vec<String> = rx.try_iter().collect();
+        let (tx, rx) = channel();
+        let report = run_job("again", &grid, &tx, &store, &stop).unwrap();
+        assert_eq!(report.resumed, 2);
+        assert!(!report.cancelled);
+        let second: Vec<String> = rx.try_iter().collect();
+        // Point lines replay byte-identically; accepted/summary differ only
+        // in their resumed count.
+        assert_eq!(first[1..3], second[1..3]);
+        assert!(second[0].contains("\"resumed\":2"));
+    }
+
+    #[test]
+    fn a_raised_stop_flag_cancels_the_run() {
+        let store = temp_store("stop");
+        let grid = tiny_grid();
+        let (tx, _rx) = channel();
+        let stop = AtomicBool::new(true);
+        let report = run_job("halted", &grid, &tx, &store, &stop).unwrap();
+        assert!(report.cancelled);
+        assert_eq!(report.completed, 0);
+    }
+}

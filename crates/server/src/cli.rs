@@ -1,0 +1,56 @@
+//! Minimal `--name value` command-line helpers for the server and load bins
+//! (kept local so the server crate does not pull the characterization stack
+//! that `svard-bench`'s helpers live next to).
+
+/// Raw string value of `--name`, if present.
+pub fn arg_string(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == &format!("--{name}"))
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// `--name value` parsed as `usize`, with a default.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    arg_string(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `--name value` parsed as `u64`, with a default.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    arg_string(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Whether a bare `--flag` is present.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == format!("--{name}"))
+}
+
+/// A comma-separated `--name a,b,c` list, with a default.
+pub fn arg_list(name: &str, default: &[&str]) -> Vec<String> {
+    match arg_string(name) {
+        Some(v) => v
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect(),
+        None => default.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_fall_back_to_defaults() {
+        assert_eq!(arg_usize("not-passed", 7), 7);
+        assert_eq!(arg_u64("not-passed", 9), 9);
+        assert!(!arg_flag("not-passed"));
+        assert_eq!(arg_list("not-passed", &["a", "b"]), vec!["a", "b"]);
+    }
+}

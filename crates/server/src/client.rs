@@ -1,0 +1,229 @@
+//! Client connection, job driver and load generator.
+//!
+//! [`Client`] is a thin line-oriented connection; [`Client::run_job`] drives
+//! one submit to completion and verifies the response stream's shape.
+//! [`run_load`] is the load-generator core behind the `svard-load` bin: it
+//! opens N concurrent connections, pushes a fixed number of jobs through
+//! each, and reports throughput and latency per connection count — the
+//! thread-sweep CSV the issue asks for. Wall-clock timing here is legal:
+//! the client never runs simulated time.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use svard_obs::WallTimer;
+
+use crate::json::Json;
+use crate::protocol::GridSpec;
+
+/// A line-oriented connection to a sweep server.
+pub struct Client {
+    stream: TcpStream,
+    acc: Vec<u8>,
+}
+
+/// The result of driving one job to completion.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Total points the server accepted for the job.
+    pub points: usize,
+    /// Points replayed from the server's journal.
+    pub resumed: usize,
+    /// Every `point` record, as raw wire lines in arrival order.
+    pub point_lines: Vec<String>,
+    /// The closing `summary` record.
+    pub summary_line: String,
+    /// Wall-clock seconds from submit to each point's arrival.
+    pub point_latencies: Vec<f64>,
+}
+
+/// One row of the load sweep.
+#[derive(Debug, Clone)]
+pub struct LoadPoint {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Harness worker threads per job (from the grid).
+    pub workers: usize,
+    /// Jobs driven across all connections.
+    pub jobs: usize,
+    /// Sweep points completed across all jobs.
+    pub points: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+    /// Points completed per wall-clock second.
+    pub points_per_second: f64,
+    /// Mean submit-to-arrival latency over all points, in seconds.
+    pub mean_point_latency: f64,
+}
+
+impl Client {
+    /// Connect, retrying briefly so a just-spawned server has time to bind.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let mut last_err = String::new();
+        for _ in 0..50 {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    return Ok(Client {
+                        stream,
+                        acc: Vec::new(),
+                    })
+                }
+                Err(e) => {
+                    last_err = e.to_string();
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+        Err(format!("connect {addr}: {last_err}"))
+    }
+
+    /// Send one request line.
+    pub fn send_line(&mut self, line: &str) -> Result<(), String> {
+        self.stream
+            .write_all(line.as_bytes())
+            .and_then(|()| self.stream.write_all(b"\n"))
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| format!("send: {e}"))
+    }
+
+    /// Read the next response line (blocking). `Ok(None)` means the server
+    /// closed the connection.
+    pub fn read_line(&mut self) -> Result<Option<String>, String> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.acc.iter().position(|&b| b == b'\n') {
+                let raw: Vec<u8> = self.acc.drain(..=pos).collect();
+                let line = String::from_utf8_lossy(&raw).trim_end().to_string();
+                return Ok(Some(line));
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.acc.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
+                Err(e) => return Err(format!("read: {e}")),
+            }
+        }
+    }
+
+    /// Submit a job and drain its response stream. Fails on an `error`
+    /// record, a truncated stream, or a point count that does not match the
+    /// accepted total.
+    pub fn run_job(&mut self, job_id: &str, grid: &GridSpec) -> Result<JobOutcome, String> {
+        let request = format!(
+            "{{\"type\":\"submit\",\"job_id\":{},\"grid\":{}}}",
+            Json::str(job_id).render(),
+            grid.to_json().render()
+        );
+        let timer = WallTimer::start();
+        self.send_line(&request)?;
+        let mut outcome = JobOutcome {
+            points: 0,
+            resumed: 0,
+            point_lines: Vec::new(),
+            summary_line: String::new(),
+            point_latencies: Vec::new(),
+        };
+        loop {
+            let line = self
+                .read_line()?
+                .ok_or("server closed the connection mid-job")?;
+            let record = Json::parse(&line).map_err(|e| format!("bad response line: {e}"))?;
+            match record.get("type").and_then(Json::as_str) {
+                Some("accepted") => {
+                    outcome.points = record.get("points").and_then(Json::as_usize).unwrap_or(0);
+                    outcome.resumed = record.get("resumed").and_then(Json::as_usize).unwrap_or(0);
+                }
+                Some("point") => {
+                    outcome.point_latencies.push(timer.elapsed_seconds());
+                    outcome.point_lines.push(line);
+                }
+                Some("summary") => {
+                    outcome.summary_line = line;
+                    break;
+                }
+                Some("error") => {
+                    let message = record
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown error");
+                    return Err(format!("server error: {message}"));
+                }
+                _ => return Err(format!("unexpected response record: {line}")),
+            }
+        }
+        if outcome.point_lines.len() != outcome.points {
+            return Err(format!(
+                "job {job_id}: expected {} points, got {}",
+                outcome.points,
+                outcome.point_lines.len()
+            ));
+        }
+        Ok(outcome)
+    }
+}
+
+/// Drive `jobs_per_connection` jobs through each of `connections` concurrent
+/// connections and measure batch throughput. Job ids are
+/// `{prefix}-c{connections}-t{thread}-j{job}`, so repeated sweeps against a
+/// persistent server resume (and replay) rather than re-simulate.
+pub fn run_load(
+    addr: &str,
+    connections: usize,
+    jobs_per_connection: usize,
+    grid: &GridSpec,
+    prefix: &str,
+) -> Result<LoadPoint, String> {
+    let timer = WallTimer::start();
+    let outcomes: Vec<Result<Vec<JobOutcome>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr)?;
+                    let mut done = Vec::new();
+                    for j in 0..jobs_per_connection {
+                        let job_id = format!("{prefix}-c{connections}-t{t}-j{j}");
+                        done.push(client.run_job(&job_id, grid)?);
+                    }
+                    Ok(done)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(_) => Err("load worker panicked".to_string()),
+            })
+            .collect()
+    });
+    let wall_seconds = timer.elapsed_seconds();
+    let mut points = 0usize;
+    let mut jobs = 0usize;
+    let mut latency_sum = 0.0f64;
+    let mut latency_count = 0usize;
+    for result in outcomes {
+        for outcome in result? {
+            jobs += 1;
+            points += outcome.point_lines.len();
+            latency_count += outcome.point_latencies.len();
+            latency_sum += outcome.point_latencies.iter().sum::<f64>();
+        }
+    }
+    Ok(LoadPoint {
+        connections,
+        workers: grid.workers,
+        jobs,
+        points,
+        wall_seconds,
+        points_per_second: if wall_seconds > 0.0 {
+            points as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        mean_point_latency: if latency_count > 0 {
+            latency_sum / latency_count as f64
+        } else {
+            0.0
+        },
+    })
+}

@@ -1,0 +1,187 @@
+//! On-disk job journals: the resume state that makes sweep jobs survive a
+//! server kill.
+//!
+//! Each job gets one append-only `<job_id>.jsonl` file under the store
+//! directory. Line 1 is the job header (`{"type":"job","job_id":...,
+//! "grid":{...}}`, with the grid in canonical rendering); every subsequent
+//! line is a completed point record exactly as it was streamed to the
+//! client. On resume the store replays those lines verbatim and hands the
+//! bridge the set of completed indices so only the remainder is
+//! re-simulated. A torn final line (server killed mid-write) is ignored.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+use crate::protocol::{job_header_line, GridSpec};
+
+/// Directory of job-state files.
+#[derive(Debug, Clone)]
+pub struct JobStore {
+    dir: PathBuf,
+}
+
+/// An open journal for one job: the completed points recovered from disk
+/// plus an append handle for new ones.
+#[derive(Debug)]
+pub struct JobJournal {
+    file: File,
+    /// Completed point records recovered from (or written to) the journal,
+    /// keyed by sweep-point index; values are full wire lines.
+    pub completed: BTreeMap<usize, String>,
+}
+
+/// Job ids become file names, so restrict them hard: 1–64 characters from
+/// `[A-Za-z0-9_-]`.
+pub fn validate_job_id(job_id: &str) -> Result<(), String> {
+    if job_id.is_empty() || job_id.len() > 64 {
+        return Err("job_id must be 1..=64 characters".to_string());
+    }
+    if !job_id
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+    {
+        return Err("job_id may only contain [A-Za-z0-9_-]".to_string());
+    }
+    Ok(())
+}
+
+impl JobStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn new(dir: &Path) -> Result<JobStore, String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create state dir: {e}"))?;
+        Ok(JobStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The journal path for a job id.
+    pub fn path_for(&self, job_id: &str) -> PathBuf {
+        self.dir.join(format!("{job_id}.jsonl"))
+    }
+
+    /// Open a job journal. A fresh job writes its header; an existing job is
+    /// recovered — the stored grid must render byte-identically to `grid`,
+    /// otherwise resuming would silently mix two different sweeps.
+    pub fn open_job(&self, job_id: &str, grid: &GridSpec) -> Result<JobJournal, String> {
+        validate_job_id(job_id)?;
+        let path = self.path_for(job_id);
+        let header = job_header_line(job_id, grid);
+        let mut completed = BTreeMap::new();
+        let exists = path.exists();
+        if exists {
+            let mut text = String::new();
+            File::open(&path)
+                .and_then(|mut f| f.read_to_string(&mut text))
+                .map_err(|e| format!("read journal: {e}"))?;
+            let mut lines = text.split_inclusive('\n');
+            match lines.next() {
+                Some(first) if first.trim_end() == header => {}
+                Some(_) => {
+                    return Err(format!(
+                        "job {job_id:?} already exists with a different grid"
+                    ))
+                }
+                None => return Err(format!("job {job_id:?} journal is empty")),
+            }
+            for line in lines {
+                // A line without the trailing newline is a torn final write;
+                // drop it and let the point re-run.
+                if !line.ends_with('\n') {
+                    break;
+                }
+                let line = line.trim_end();
+                let Ok(record) = Json::parse(line) else { break };
+                let Some(index) = record.get("index").and_then(Json::as_usize) else {
+                    break;
+                };
+                completed.insert(index, line.to_string());
+            }
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("open journal: {e}"))?;
+        if !exists {
+            writeln!(file, "{header}").map_err(|e| format!("write header: {e}"))?;
+            file.flush().map_err(|e| format!("flush header: {e}"))?;
+        }
+        Ok(JobJournal { file, completed })
+    }
+}
+
+impl JobJournal {
+    /// Append a completed point record (a full wire line, no newline) and
+    /// flush it so a kill immediately afterwards cannot lose it.
+    pub fn record_point(&mut self, index: usize, line: &str) -> Result<(), String> {
+        writeln!(self.file, "{line}").map_err(|e| format!("append point: {e}"))?;
+        self.file.flush().map_err(|e| format!("flush point: {e}"))?;
+        self.completed.insert(index, line.to_string());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> JobStore {
+        let dir = std::env::temp_dir().join(format!("svard-jobstore-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        JobStore::new(&dir).unwrap()
+    }
+
+    #[test]
+    fn job_ids_are_restricted_to_safe_characters() {
+        assert!(validate_job_id("job-1_A").is_ok());
+        assert!(validate_job_id("").is_err());
+        assert!(validate_job_id("../escape").is_err());
+        assert!(validate_job_id(&"x".repeat(65)).is_err());
+    }
+
+    #[test]
+    fn journal_recovers_completed_points_and_ignores_torn_lines() {
+        let store = temp_store("recover");
+        let grid = GridSpec::default();
+        {
+            let mut journal = store.open_job("resume-me", &grid).unwrap();
+            journal
+                .record_point(0, "{\"type\":\"point\",\"index\":0}")
+                .unwrap();
+            journal
+                .record_point(3, "{\"type\":\"point\",\"index\":3}")
+                .unwrap();
+        }
+        // Simulate a kill mid-write: append half a line with no newline.
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(store.path_for("resume-me"))
+                .unwrap();
+            write!(f, "{{\"type\":\"point\",\"ind").unwrap();
+        }
+        let journal = store.open_job("resume-me", &grid).unwrap();
+        assert_eq!(
+            journal.completed.keys().copied().collect::<Vec<_>>(),
+            vec![0, 3]
+        );
+        assert_eq!(
+            journal.completed.get(&3).map(String::as_str),
+            Some("{\"type\":\"point\",\"index\":3}")
+        );
+    }
+
+    #[test]
+    fn grid_mismatch_is_rejected_on_resume() {
+        let store = temp_store("mismatch");
+        let grid = GridSpec::default();
+        drop(store.open_job("fixed-grid", &grid).unwrap());
+        let mut other = grid.clone();
+        other.seed = 1234;
+        let err = store.open_job("fixed-grid", &other).unwrap_err();
+        assert!(err.contains("different grid"), "{err}");
+    }
+}

@@ -1,0 +1,524 @@
+//! A dependency-free JSON value with a recursive-descent parser and a
+//! deterministic renderer.
+//!
+//! Integer-looking numbers parse as [`Json::Int`] (an `i128`, wide enough to
+//! hold any `u64` seed exactly); everything else as [`Json::Num`]. Objects
+//! are `BTreeMap`s, so rendering is key-ordered and deterministic — the
+//! property the resume path relies on when comparing a submitted grid
+//! against a journal header byte-for-byte.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fraction or exponent (exact; holds any `u64`).
+    Int(i128),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, key-ordered.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parse one JSON document, rejecting trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Render deterministically (object keys in `BTreeMap` order).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(n) => out.push_str(&render_f64(*n)),
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(key, out);
+                    out.push_str("\":");
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize`, if it is a non-negative integer in range.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// The value as an `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The object map, mutably, if this is an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Build a string value.
+    pub fn str(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+
+    /// Build an integer value from a `u64`.
+    pub fn uint(v: u64) -> Json {
+        Json::Int(v as i128)
+    }
+}
+
+/// Render an `f64` the way Rust's `Display` does (shortest round-trip form);
+/// non-finite values keep their `Display` spelling, which the parser accepts
+/// back.
+fn render_f64(n: f64) -> String {
+    let s = n.to_string();
+    // `Display` prints integral floats without a fractional part; keep a
+    // marker so the value re-parses as a float, not an integer.
+    if n.is_finite() && !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+        format!("{s}.0")
+    } else {
+        s
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn expect_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes.get(*pos..).unwrap_or(&[]).starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect_literal(bytes, pos, "null", Json::Null),
+        Some(b't') => expect_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => expect_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'N') => expect_literal(bytes, pos, "NaN", Json::Num(f64::NAN)),
+        Some(b'i') => expect_literal(bytes, pos, "inf", Json::Num(f64::INFINITY)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    // Caller guarantees bytes[*pos] == b'"'.
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("bad \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|e| format!("bad \\u: {e}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err("bad escape".to_string()),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 code point (multi-byte sequences pass
+                // through unchanged; the input is a &str, so it is valid).
+                let start = *pos;
+                *pos += 1;
+                while bytes.get(*pos).is_some_and(|b| b & 0xC0 == 0x80) {
+                    *pos += 1;
+                }
+                if let Ok(s) = std::str::from_utf8(bytes.get(start..*pos).unwrap_or(&[])) {
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+        if bytes.get(*pos..).unwrap_or(&[]).starts_with(b"inf") {
+            *pos += 3;
+            return Ok(Json::Num(f64::NEG_INFINITY));
+        }
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text =
+        std::str::from_utf8(bytes.get(start..*pos).unwrap_or(&[])).map_err(|e| e.to_string())?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("invalid number at byte {start}"));
+    }
+    if is_float {
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    } else {
+        text.parse::<i128>()
+            .map(Json::Int)
+            .map_err(|e| format!("bad integer {text:?}: {e}"))
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// Merge one rendered [`svard_obs::MetricsSnapshot`] object into another in
+/// the JSON domain, mirroring `MetricsSnapshot::merge` exactly: counters
+/// add, gauges keep the max, histogram `count`/`sum` add and buckets add
+/// per log2 index. This is how a resumed job folds journaled point metrics
+/// (where only the JSON survives the restart) into its summary without
+/// changing a single byte relative to a fresh run.
+pub fn merge_metric_objects(acc: &mut Json, other: &Json) {
+    let (Json::Obj(acc_map), Json::Obj(other_map)) = (acc, other) else {
+        return;
+    };
+    for family in ["counters", "gauges", "hists"] {
+        let Some(Json::Obj(theirs)) = other_map.get(family) else {
+            continue;
+        };
+        let mine = acc_map
+            .entry(family.to_string())
+            .or_insert_with(|| Json::Obj(BTreeMap::new()));
+        let Json::Obj(mine) = mine else { continue };
+        for (name, value) in theirs {
+            match family {
+                "counters" => {
+                    let delta = value.as_u64().unwrap_or(0);
+                    let slot = mine.entry(name.clone()).or_insert(Json::Int(0));
+                    if let Json::Int(existing) = slot {
+                        *existing += delta as i128;
+                    }
+                }
+                "gauges" => {
+                    let theirs_v = value.as_u64().unwrap_or(0);
+                    let slot = mine.entry(name.clone()).or_insert(Json::Int(0));
+                    if let Json::Int(existing) = slot {
+                        *existing = (*existing).max(theirs_v as i128);
+                    }
+                }
+                _ => {
+                    let slot = mine
+                        .entry(name.clone())
+                        .or_insert_with(|| Json::Obj(BTreeMap::new()));
+                    merge_hist_objects(slot, value);
+                }
+            }
+        }
+    }
+}
+
+/// Merge one rendered histogram (`{count, sum, buckets: [[log2, n], ...]}`)
+/// into another: count and sum add, buckets add per log2 index (kept sorted,
+/// zero buckets never appear because counts only grow).
+fn merge_hist_objects(acc: &mut Json, other: &Json) {
+    let (Json::Obj(acc_map), Json::Obj(other_map)) = (acc, other) else {
+        return;
+    };
+    for key in ["count", "sum"] {
+        let delta = other_map.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let slot = acc_map.entry(key.to_string()).or_insert(Json::Int(0));
+        if let Json::Int(existing) = slot {
+            *existing += delta as i128;
+        }
+    }
+    let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
+    for source in [acc_map.get("buckets"), other_map.get("buckets")] {
+        for entry in source.and_then(Json::as_array).unwrap_or(&[]) {
+            if let [log2, n] = entry.as_array().unwrap_or(&[]) {
+                if let (Some(log2), Some(n)) = (log2.as_u64(), n.as_u64()) {
+                    *merged.entry(log2).or_insert(0) += n;
+                }
+            }
+        }
+    }
+    let buckets = merged
+        .into_iter()
+        .map(|(log2, n)| Json::Arr(vec![Json::uint(log2), Json::uint(n)]))
+        .collect();
+    acc_map.insert("buckets".to_string(), Json::Arr(buckets));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_scalars_and_structures() {
+        for text in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-17",
+            "18446744073709551615",
+            "1.5",
+            "[1,2,3]",
+            "{\"a\":1,\"b\":[true,null]}",
+            "\"hi \\\"there\\\"\"",
+        ] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.render(), text, "roundtrip of {text}");
+        }
+    }
+
+    #[test]
+    fn u64_values_survive_exactly() {
+        let v = Json::parse("{\"seed\":18446744073709551615}").unwrap();
+        assert_eq!(v.get("seed").and_then(Json::as_u64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn object_keys_are_rendered_sorted() {
+        let v = Json::parse("{\"b\":1,\"a\":2}").unwrap();
+        assert_eq!(v.render(), "{\"a\":2,\"b\":1}");
+    }
+
+    #[test]
+    fn unicode_passes_through() {
+        let v = Json::parse("\"Svärd-S0\"").unwrap();
+        assert_eq!(v.as_str(), Some("Svärd-S0"));
+        assert_eq!(v.render(), "\"Svärd-S0\"");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\"}").is_err());
+    }
+
+    #[test]
+    fn float_display_roundtrips_via_rust_formatting() {
+        let v = Json::parse("{\"w\":0.9983212}").unwrap();
+        assert_eq!(v.render(), "{\"w\":0.9983212}");
+        // Integral floats keep a float marker so the type survives.
+        assert_eq!(Json::Num(1.0).render(), "1.0");
+    }
+
+    #[test]
+    fn merge_matches_snapshot_merge_semantics() {
+        use svard_obs::MetricsSnapshot;
+        let mut a = MetricsSnapshot::default();
+        a.add_counter("mem.reads", 3);
+        a.raise_gauge("mem.queue_peak", 9);
+        a.hists.entry("mem.latency").or_default().observe(5);
+        a.hists.entry("mem.latency").or_default().observe(900);
+        let mut b = MetricsSnapshot::default();
+        b.add_counter("mem.reads", 4);
+        b.add_counter("mem.writes", 1);
+        b.raise_gauge("mem.queue_peak", 2);
+        b.hists.entry("mem.latency").or_default().observe(5);
+
+        let mut json_merged = Json::parse(&a.to_json()).unwrap();
+        merge_metric_objects(&mut json_merged, &Json::parse(&b.to_json()).unwrap());
+
+        let mut snapshot_merged = a.clone();
+        snapshot_merged.merge(&b);
+        assert_eq!(
+            json_merged.render(),
+            Json::parse(&snapshot_merged.to_json()).unwrap().render()
+        );
+    }
+}

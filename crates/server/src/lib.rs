@@ -1,0 +1,49 @@
+//! `svard-server`: a long-running sweep-job server and load-generator client
+//! over the parallel evaluation harness.
+//!
+//! The server accepts sweep jobs — defense × provider × `HC_first` × mix
+//! grids — over a plain TCP socket speaking line-delimited JSON, feeds each
+//! job's [`svard_system::SweepPoint`]s through a delegation-style work queue
+//! onto the `svard_system::parallel` worker pool, and streams every completed
+//! [`svard_system::EvaluationPoint`] back the moment it finishes, followed by
+//! a job summary carrying the merged
+//! [`svard_obs::MetricsSnapshot`]. Jobs are resumable: completed points are
+//! journaled to an on-disk job-state file, and a restarted server replays
+//! them byte-identically instead of re-simulating.
+//!
+//! Module map:
+//!
+//! | module     | role                                                    |
+//! |------------|---------------------------------------------------------|
+//! | [`json`]   | dependency-free JSON value, parser and renderer         |
+//! | [`protocol`] | wire records, grid validation, point expansion        |
+//! | [`jobstore`] | on-disk job journals (resume state)                   |
+//! | [`queue`]  | blocking delegation work queue between connections and executors |
+//! | [`bridge`] | grid → harness translation and streamed job execution   |
+//! | [`server`] | TCP accept/connection/executor loops                    |
+//! | [`client`] | client connection, job driver and load generator        |
+//! | [`cli`]    | minimal `--flag value` argument helpers for the bins    |
+//!
+//! This crate is **non-sim**: it never runs inside the simulated clock
+//! domain, so wall-clock timers ([`svard_obs::WallTimer`] /
+//! [`svard_obs::PhaseProfile`]) are legal here (and `svard-lint` knows it —
+//! see `lint.toml`'s `[determinism] non_sim` list). Determinism of the
+//! *results* is inherited from the harness seeding scheme: every streamed
+//! point is bit-identical to a direct `evaluate_all` run at any worker count,
+//! including across a kill-and-resume.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod bridge;
+pub mod cli;
+pub mod client;
+pub mod jobstore;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::{run_load, Client, JobOutcome, LoadPoint};
+pub use protocol::GridSpec;
+pub use server::{serve, ServerConfig, ServerHandle};

@@ -1,0 +1,149 @@
+//! Delegation work queue between connection handlers and executor threads.
+//!
+//! Connection threads *submit* jobs; a small pool of executor threads *pops*
+//! and runs them one at a time. The queue is a plain `Mutex<VecDeque>` +
+//! `Condvar` — jobs are coarse (seconds to minutes of simulation), so
+//! contention here is irrelevant and the standard library is all we need.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+
+use crate::protocol::GridSpec;
+
+/// A validated job waiting for an executor.
+pub struct QueuedJob {
+    /// Client-chosen job identifier (also the journal file stem).
+    pub job_id: String,
+    /// The validated sweep grid.
+    pub grid: GridSpec,
+    /// Where to stream response lines; the connection thread drains the
+    /// receiving end. Dropped senders mean the client went away.
+    pub out: Sender<String>,
+}
+
+struct Inner {
+    jobs: VecDeque<QueuedJob>,
+    shutdown: bool,
+    depth_peak: usize,
+}
+
+/// Blocking FIFO job queue.
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+}
+
+impl Default for JobQueue {
+    fn default() -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::new(),
+                shutdown: false,
+                depth_peak: 0,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+impl JobQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a job. Returns `false` if the queue has been shut down (the
+    /// job is dropped, which closes its response channel).
+    pub fn push(&self, job: QueuedJob) -> bool {
+        let mut inner = self.lock();
+        if inner.shutdown {
+            return false;
+        }
+        inner.jobs.push_back(job);
+        inner.depth_peak = inner.depth_peak.max(inner.jobs.len());
+        self.ready.notify_one();
+        true
+    }
+
+    /// Block until a job is available or the queue shuts down. `None` means
+    /// shutdown: the executor thread should exit.
+    pub fn pop(&self) -> Option<QueuedJob> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = match self.ready.wait(inner) {
+                Ok(guard) => guard,
+                // lint: allow(panic) -- poisoned only if a holder panicked; propagating is correct
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Drain pending jobs and wake every blocked executor so it can exit.
+    pub fn shutdown(&self) {
+        let mut inner = self.lock();
+        inner.shutdown = true;
+        inner.jobs.clear();
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Highest queue depth seen so far (for the `stats` record).
+    pub fn depth_peak(&self) -> usize {
+        self.lock().depth_peak
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            // lint: allow(panic) -- poisoned only if a holder panicked; propagating is correct
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+    use std::sync::Arc;
+
+    fn job(id: &str) -> QueuedJob {
+        let (tx, _rx) = channel();
+        QueuedJob {
+            job_id: id.to_string(),
+            grid: GridSpec::default(),
+            out: tx,
+        }
+    }
+
+    #[test]
+    fn queue_is_fifo_and_tracks_peak_depth() {
+        let q = JobQueue::new();
+        assert!(q.push(job("a")));
+        assert!(q.push(job("b")));
+        assert_eq!(q.depth_peak(), 2);
+        assert_eq!(q.pop().map(|j| j.job_id), Some("a".to_string()));
+        assert_eq!(q.pop().map(|j| j.job_id), Some("b".to_string()));
+    }
+
+    #[test]
+    fn shutdown_wakes_blocked_pop_and_rejects_new_jobs() {
+        let q = Arc::new(JobQueue::new());
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop().map(|j| j.job_id))
+        };
+        // Give the waiter a moment to block, then shut down.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.shutdown();
+        assert_eq!(waiter.join().unwrap(), None);
+        assert!(!q.push(job("late")));
+    }
+}

@@ -1,0 +1,343 @@
+//! TCP accept loop, connection handlers and executor pool.
+//!
+//! The server speaks line-delimited JSON (see [`crate::protocol`]). Each
+//! connection is handled by its own thread and processes requests
+//! sequentially: a `submit` blocks the connection until its response stream
+//! (accepted / points / summary or error) has drained, which gives the
+//! client strict per-job ordering for free. Jobs from all connections funnel
+//! through one [`JobQueue`] into a small executor pool, so the number of
+//! concurrently simulating jobs is bounded regardless of connection count.
+//!
+//! This crate is non-sim: wall-clock I/O timeouts and `server.*` operational
+//! metrics below never touch the simulated clock domain.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use svard_obs::MetricsSnapshot;
+
+use crate::bridge;
+use crate::jobstore::{validate_job_id, JobStore};
+use crate::json::Json;
+use crate::protocol::{error_line, GridSpec};
+use crate::queue::{JobQueue, QueuedJob};
+
+/// How long blocking reads and queue polls wait before re-checking the stop
+/// flag. Purely an operational liveness knob; never affects results.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7979` (port 0 picks a free port).
+    pub addr: String,
+    /// Directory for job journals.
+    pub state_dir: PathBuf,
+    /// Executor threads (concurrently running jobs); at least 1.
+    pub executors: usize,
+}
+
+/// Operational metrics, exposed through the `stats` request.
+#[derive(Default)]
+pub struct ServerStats {
+    metrics: Mutex<MetricsSnapshot>,
+    inflight: AtomicUsize,
+}
+
+impl ServerStats {
+    fn count(&self, name: &'static str) {
+        self.with(|m| m.add_counter(name, 1));
+    }
+
+    fn with<F: FnOnce(&mut MetricsSnapshot)>(&self, f: F) {
+        let mut metrics = match self.metrics.lock() {
+            Ok(guard) => guard,
+            // lint: allow(panic) -- poisoned only if a holder panicked; propagating is correct
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        f(&mut metrics);
+    }
+
+    /// A frozen copy of the current metrics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        self.with(|m| snap = m.clone());
+        snap
+    }
+}
+
+/// A running server: background threads plus the handle to stop them.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<JobQueue>,
+    stats: Arc<ServerStats>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A frozen copy of the operational metrics.
+    pub fn stats_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.stats.snapshot();
+        snap.raise_gauge("server.queue_depth_peak", self.queue.depth_peak() as u64);
+        snap
+    }
+
+    /// Stop accepting, drain the queue, and join every background thread.
+    /// Jobs already executing finish their in-flight points (journaled), so
+    /// nothing completed is lost.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.queue.shutdown();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Bind, spawn the accept loop and executor pool, and return immediately.
+pub fn serve(config: ServerConfig) -> Result<ServerHandle, String> {
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    let store = Arc::new(JobStore::new(&config.state_dir)?);
+    let stop = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(JobQueue::new());
+    let stats = Arc::new(ServerStats::default());
+
+    let mut threads = Vec::new();
+    for _ in 0..config.executors.max(1) {
+        let (queue, store, stats, stop) = (
+            Arc::clone(&queue),
+            Arc::clone(&store),
+            Arc::clone(&stats),
+            Arc::clone(&stop),
+        );
+        threads.push(std::thread::spawn(move || {
+            executor_loop(&queue, &store, &stats, &stop)
+        }));
+    }
+    {
+        let (queue, stats, stop) = (Arc::clone(&queue), Arc::clone(&stats), Arc::clone(&stop));
+        threads.push(std::thread::spawn(move || {
+            accept_loop(listener, &queue, &stats, &stop)
+        }));
+    }
+    Ok(ServerHandle {
+        addr,
+        stop,
+        queue,
+        stats,
+        threads,
+    })
+}
+
+fn executor_loop(queue: &JobQueue, store: &JobStore, stats: &ServerStats, stop: &AtomicBool) {
+    while let Some(job) = queue.pop() {
+        let inflight = stats.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+        stats.with(|m| m.raise_gauge("server.jobs_inflight_peak", inflight as u64));
+        match bridge::run_job(&job.job_id, &job.grid, &job.out, store, stop) {
+            Ok(report) => {
+                stats.with(|m| {
+                    m.add_counter(
+                        "server.points_streamed",
+                        (report.completed - report.resumed.min(report.completed)) as u64,
+                    );
+                    m.add_counter("server.points_resumed", report.resumed as u64);
+                    m.add_counter(
+                        if report.cancelled {
+                            "server.jobs_cancelled"
+                        } else {
+                            "server.jobs_completed"
+                        },
+                        1,
+                    );
+                });
+            }
+            Err(message) => {
+                stats.count("server.jobs_rejected");
+                let _ = job.out.send(error_line(&message));
+            }
+        }
+        stats.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    queue: &Arc<JobQueue>,
+    stats: &Arc<ServerStats>,
+    stop: &Arc<AtomicBool>,
+) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stats.count("server.connections");
+                let (queue, stats, stop) = (Arc::clone(queue), Arc::clone(stats), Arc::clone(stop));
+                connections.push(std::thread::spawn(move || {
+                    handle_connection(stream, &queue, &stats, &stop)
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => break,
+        }
+        connections.retain(|c| !c.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    queue: &JobQueue,
+    stats: &ServerStats,
+    stop: &AtomicBool,
+) {
+    // A short read timeout keeps the thread responsive to shutdown without
+    // busy-waiting; partial lines accumulate in `acc` across reads (a plain
+    // `BufReader::read_line` would lose them on timeout).
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut acc: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while !stop.load(Ordering::Acquire) {
+        while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
+            let raw: Vec<u8> = acc.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if !handle_request(&line, &mut writer, queue, stats, stop) {
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => acc.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_line(writer: &mut TcpStream, line: &str) -> bool {
+    writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .is_ok()
+}
+
+/// Handle one request line. Returns `false` when the connection should close.
+fn handle_request(
+    line: &str,
+    writer: &mut TcpStream,
+    queue: &JobQueue,
+    stats: &ServerStats,
+    stop: &AtomicBool,
+) -> bool {
+    let request = match Json::parse(line) {
+        Ok(value) => value,
+        Err(e) => {
+            stats.count("server.errors");
+            return write_line(writer, &error_line(&format!("bad request: {e}")));
+        }
+    };
+    match request.get("type").and_then(Json::as_str) {
+        Some("ping") => write_line(writer, "{\"type\":\"pong\"}"),
+        Some("stats") => {
+            let mut snap = stats.snapshot();
+            snap.raise_gauge("server.queue_depth_peak", queue.depth_peak() as u64);
+            write_line(
+                writer,
+                &format!("{{\"type\":\"stats\",\"metrics\":{}}}", snap.to_json()),
+            )
+        }
+        Some("submit") => handle_submit(&request, writer, queue, stats, stop),
+        _ => {
+            stats.count("server.errors");
+            write_line(writer, &error_line("unknown request type"))
+        }
+    }
+}
+
+fn handle_submit(
+    request: &Json,
+    writer: &mut TcpStream,
+    queue: &JobQueue,
+    stats: &ServerStats,
+    stop: &AtomicBool,
+) -> bool {
+    let job_id = match request.get("job_id").and_then(Json::as_str) {
+        Some(id) => id.to_string(),
+        None => {
+            stats.count("server.errors");
+            return write_line(writer, &error_line("submit requires a job_id"));
+        }
+    };
+    if let Err(e) = validate_job_id(&job_id) {
+        stats.count("server.errors");
+        return write_line(writer, &error_line(&e));
+    }
+    let grid = match request.get("grid") {
+        Some(value) => match GridSpec::from_json(value) {
+            Ok(grid) => grid,
+            Err(e) => {
+                stats.count("server.errors");
+                return write_line(writer, &error_line(&format!("invalid grid: {e}")));
+            }
+        },
+        None => GridSpec::default(),
+    };
+    stats.count("server.jobs_submitted");
+    let (tx, rx) = channel();
+    if !queue.push(QueuedJob {
+        job_id,
+        grid,
+        out: tx,
+    }) {
+        return write_line(writer, &error_line("server is shutting down"));
+    }
+    // Forward the job's response stream until the executor drops its sender
+    // (job finished, cancelled, or errored). Dropping `rx` on a client write
+    // failure is what cancels the running job.
+    loop {
+        match rx.recv_timeout(POLL) {
+            Ok(line) => {
+                if !write_line(writer, &line) {
+                    return false;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::Acquire) {
+                    return false;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return true,
+        }
+    }
+}

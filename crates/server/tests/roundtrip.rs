@@ -1,0 +1,234 @@
+//! End-to-end round trips over a real TCP server: bit-identity of streamed
+//! point lines against a direct harness run at several worker counts, and
+//! kill-and-resume replay from the on-disk journal.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::mpsc::channel;
+use std::sync::Mutex;
+
+use svard_defenses::DefenseKind;
+use svard_server::bridge;
+use svard_server::jobstore::JobStore;
+use svard_server::json::Json;
+use svard_server::protocol::point_line;
+use svard_server::{serve, Client, GridSpec, ServerConfig};
+
+fn tiny_grid(workers: usize) -> GridSpec {
+    GridSpec {
+        defenses: vec![DefenseKind::Para],
+        providers: vec!["none".to_string(), "S0".to_string()],
+        hc_values: vec![64, 256],
+        mixes: 2,
+        cores: 2,
+        instructions: 2_000,
+        rows: 256,
+        seed: 11,
+        bins: 8,
+        workers,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("svard-rt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_server(tag: &str) -> svard_server::ServerHandle {
+    serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        state_dir: temp_dir(tag),
+        executors: 2,
+    })
+    .unwrap()
+}
+
+/// Replace the job id so lines from different jobs compare equal, and
+/// re-render canonically.
+fn normalize(line: &str) -> String {
+    let mut record = Json::parse(line).unwrap();
+    if let Some(map) = record.as_object_mut() {
+        map.insert("job_id".to_string(), Json::str("X"));
+    }
+    record.render()
+}
+
+/// The expected wire lines for a grid, computed with no server in the loop:
+/// the harness streams straight into the shared `point_line` renderer.
+fn reference_lines(grid: &GridSpec) -> Vec<String> {
+    let (harness, points) = bridge::build_harness(grid);
+    let collected: Mutex<BTreeMap<usize, String>> = Mutex::new(BTreeMap::new());
+    let _ = harness.evaluate_all_streamed(&points, |i, point, metrics| {
+        collected
+            .lock()
+            .unwrap()
+            .insert(i, point_line("X", i, point, &metrics.to_json()));
+        true
+    });
+    collected.into_inner().unwrap().into_values().collect()
+}
+
+#[test]
+fn streamed_jobs_are_bit_identical_to_a_direct_harness_run_at_any_worker_count() {
+    let expected = reference_lines(&tiny_grid(1));
+    assert_eq!(expected.len(), 4);
+
+    let server = start_server("workers");
+    let addr = server.addr().to_string();
+    for workers in [1usize, 2, 8] {
+        let mut client = Client::connect(&addr).unwrap();
+        let outcome = client
+            .run_job(&format!("rt-w{workers}"), &tiny_grid(workers))
+            .unwrap();
+        assert_eq!(outcome.points, 4);
+        assert_eq!(outcome.resumed, 0);
+        // Points stream in completion order; sort by index for comparison.
+        let mut got: Vec<(usize, String)> = outcome
+            .point_lines
+            .iter()
+            .map(|l| {
+                let index = Json::parse(l)
+                    .unwrap()
+                    .get("index")
+                    .and_then(Json::as_usize)
+                    .unwrap();
+                (index, normalize(l))
+            })
+            .collect();
+        got.sort();
+        let got: Vec<String> = got.into_iter().map(|(_, l)| l).collect();
+        let want: Vec<String> = expected.iter().map(|l| normalize(l)).collect();
+        assert_eq!(got, want, "workers={workers}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn a_killed_job_resumes_from_the_journal_with_byte_identical_lines() {
+    let grid = tiny_grid(1);
+    let expected: Vec<String> = reference_lines(&grid)
+        .iter()
+        .map(|l| normalize(l))
+        .collect();
+
+    // Simulate a server killed after two completed points: the journal
+    // contains exactly the header plus two point lines, which is the on-disk
+    // state the journal-then-send discipline guarantees.
+    let state_dir = temp_dir("resume");
+    let store = JobStore::new(&state_dir).unwrap();
+    {
+        let (harness, points) = bridge::build_harness(&grid);
+        let journal = Mutex::new(store.open_job("killed", &grid).unwrap());
+        let _ = harness.evaluate_all_streamed(&points, |i, point, metrics| {
+            let mut journal = journal.lock().unwrap();
+            if journal.completed.len() >= 2 {
+                return false;
+            }
+            journal
+                .record_point(i, &point_line("killed", i, point, &metrics.to_json()))
+                .unwrap();
+            true
+        });
+        let journal = journal.into_inner().unwrap();
+        assert_eq!(journal.completed.len(), 2, "partial journal before restart");
+    }
+
+    // Restart: a fresh server over the same state dir must replay the two
+    // journaled points verbatim and simulate only the remaining two.
+    let server = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        state_dir,
+        executors: 1,
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let resumed = client.run_job("killed", &grid).unwrap();
+    assert_eq!(resumed.resumed, 2);
+    assert_eq!(resumed.point_lines.len(), 4);
+    let mut got: Vec<String> = resumed.point_lines.iter().map(|l| normalize(l)).collect();
+    got.sort();
+    let mut want = expected.clone();
+    want.sort();
+    assert_eq!(got, want, "resumed lines match the direct harness run");
+
+    // A fresh job with the same grid produces the same points and the same
+    // summary metrics — the JSON-domain merge over replayed lines changes
+    // nothing.
+    let fresh = client.run_job("fresh", &grid).unwrap();
+    let summary_metrics = |line: &str| {
+        Json::parse(line)
+            .unwrap()
+            .get("metrics")
+            .cloned()
+            .unwrap()
+            .render()
+    };
+    assert_eq!(
+        summary_metrics(&resumed.summary_line),
+        summary_metrics(&fresh.summary_line)
+    );
+
+    // Resubmitting an existing job id with a different grid is an error, not
+    // a silent mix of two sweeps.
+    let mut other = grid.clone();
+    other.seed = 99;
+    let err = client.run_job("killed", &other).unwrap_err();
+    assert!(err.contains("different grid"), "{err}");
+    server.shutdown();
+}
+
+#[test]
+fn a_client_that_vanishes_cancels_the_job_without_corrupting_state() {
+    let grid = tiny_grid(1);
+    let state_dir = temp_dir("vanish");
+    let store = JobStore::new(&state_dir).unwrap();
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = channel();
+    drop(rx);
+    let report = bridge::run_job("gone", &grid, &tx, &store, &stop).unwrap();
+    assert!(report.cancelled);
+    assert_eq!(report.completed, 0);
+    // The journal is still resumable afterwards.
+    let (tx, rx) = channel();
+    let report = bridge::run_job("gone", &grid, &tx, &store, &stop).unwrap();
+    assert!(!report.cancelled);
+    assert_eq!(report.completed, 4);
+    drop(rx);
+}
+
+#[test]
+fn ping_stats_and_malformed_requests_get_answers() {
+    let server = start_server("misc");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    client.send_line("{\"type\":\"ping\"}").unwrap();
+    assert_eq!(
+        client.read_line().unwrap().as_deref(),
+        Some("{\"type\":\"pong\"}")
+    );
+
+    client.send_line("{\"type\":\"stats\"}").unwrap();
+    let stats = client.read_line().unwrap().unwrap();
+    assert!(stats.starts_with("{\"type\":\"stats\""), "{stats}");
+
+    client.send_line("not json").unwrap();
+    let err = client.read_line().unwrap().unwrap();
+    assert!(err.contains("\"type\":\"error\""), "{err}");
+
+    client
+        .send_line("{\"type\":\"submit\",\"job_id\":\"../bad\"}")
+        .unwrap();
+    let err = client.read_line().unwrap().unwrap();
+    assert!(err.contains("job_id"), "{err}");
+
+    client
+        .send_line("{\"type\":\"submit\",\"job_id\":\"ok\",\"grid\":{\"rows\":100}}")
+        .unwrap();
+    let err = client.read_line().unwrap().unwrap();
+    assert!(err.contains("invalid grid"), "{err}");
+    server.shutdown();
+}

@@ -6,7 +6,7 @@
 //! their input slot, so the output order — and therefore every downstream
 //! reduction — is deterministic regardless of thread scheduling.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// The default worker count: one per available hardware thread.
@@ -54,6 +54,43 @@ where
         .collect()
 }
 
+/// Run `f` over every item for its side effects, using up to `threads` OS
+/// threads, stopping early when `cancel` is raised. Workers check the flag
+/// before claiming the next item, so tasks already in flight run to
+/// completion but no new ones start after cancellation. `f` receives
+/// `(index, &item)`; item claim order is nondeterministic, so `f` must land
+/// its effects keyed by index (the streaming harness stores into input-order
+/// slots, exactly like [`par_map`]).
+pub fn par_for_each<T, F>(items: &[T], threads: usize, cancel: &AtomicBool, f: F)
+where
+    T: Sync,
+    F: Fn(usize, &T) + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        for (i, item) in items.iter().enumerate() {
+            if cancel.load(Ordering::Acquire) {
+                return;
+            }
+            f(i, item);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                if cancel.load(Ordering::Acquire) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                f(i, item);
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +111,44 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u32> = par_map(&[] as &[u32], 4, |_, &x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn for_each_covers_all_items_when_not_cancelled() {
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 3, 8] {
+            let hit: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+            let cancel = AtomicBool::new(false);
+            par_for_each(&items, threads, &cancel, |i, &x| {
+                assert_eq!(i, x);
+                hit[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hit.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn for_each_stops_claiming_after_cancel() {
+        let items: Vec<usize> = (0..10_000).collect();
+        let done = AtomicUsize::new(0);
+        let cancel = AtomicBool::new(false);
+        par_for_each(&items, 4, &cancel, |_, _| {
+            if done.fetch_add(1, Ordering::Relaxed) >= 10 {
+                cancel.store(true, Ordering::Release);
+            }
+        });
+        // In-flight tasks may finish, but nowhere near the full input.
+        assert!(done.load(Ordering::Relaxed) < 1000);
+    }
+
+    #[test]
+    fn for_each_cancelled_up_front_does_nothing() {
+        let items: Vec<usize> = (0..8).collect();
+        let done = AtomicUsize::new(0);
+        let cancel = AtomicBool::new(true);
+        par_for_each(&items, 1, &cancel, |_, _| {
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 0);
     }
 }

@@ -23,8 +23,20 @@ use svard_defenses::DefenseKind;
 use svard_memsim::{CompletedRequest, MemStats, MemorySystem, MitigationHook, NoMitigation};
 use svard_obs::{MetricsSnapshot, NoopSink, ObsSink, PhaseProfile, Recorder, WallTimer};
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
 use crate::config::SystemConfig;
 use crate::parallel;
+
+/// Shared bookkeeping of a streamed sweep: per-task result slots in input
+/// order, per-point outstanding-mix counters, and the running summary.
+struct StreamState {
+    slots: Vec<Option<(SystemMetrics, MetricsSnapshot)>>,
+    remaining: Vec<usize>,
+    results: Vec<Option<EvaluationPoint>>,
+    summary: MetricsSnapshot,
+}
 
 /// How the simulation loop advances time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -414,7 +426,8 @@ impl EvaluationHarness {
     pub fn evaluate_all_traced(&self, points: &[SweepPoint]) -> (Vec<EvaluationPoint>, String) {
         let tasks = self.tasks(points);
         let outcomes = parallel::par_map(&tasks, self.threads, |_, &(p, m)| {
-            self.simulate_task(points, p, m, Recorder::new())
+            let (norm, _, sink) = self.simulate_task(points, p, m, Recorder::new());
+            (norm, sink)
         });
         let mut trace = String::new();
         for (&(p, m), (_, sink)) in tasks.iter().zip(&outcomes) {
@@ -445,7 +458,7 @@ impl EvaluationHarness {
         let timed = parallel::par_map(&tasks, self.threads, |_, &(p, m)| {
             // lint: allow(determinism) -- per-task busy time never feeds back into results
             let task = WallTimer::start();
-            let (norm, _) = self.simulate_task(points, p, m, NoopSink);
+            let (norm, _, _) = self.simulate_task(points, p, m, NoopSink);
             (norm, task.elapsed_seconds())
         });
         let profile = PhaseProfile {
@@ -459,6 +472,127 @@ impl EvaluationHarness {
         (self.aggregate(points, &normalized), profile)
     }
 
+    /// [`evaluate_all`](Self::evaluate_all) that streams every completed
+    /// point through `on_point` the moment its last mix simulation finishes
+    /// (see [`evaluate_masked_streamed`](Self::evaluate_masked_streamed)).
+    pub fn evaluate_all_streamed<F>(
+        &self,
+        points: &[SweepPoint],
+        on_point: F,
+    ) -> (Vec<Option<EvaluationPoint>>, MetricsSnapshot)
+    where
+        F: Fn(usize, &EvaluationPoint, &MetricsSnapshot) -> bool + Sync,
+    {
+        let mask = vec![true; points.len()];
+        self.evaluate_masked_streamed(points, &mask, on_point)
+    }
+
+    /// Evaluate the subset of `points` whose `run_point` flag is set,
+    /// streaming each completed [`EvaluationPoint`] through `on_point` the
+    /// moment its last mix simulation finishes — the entry point the sweep
+    /// server builds resumable jobs on.
+    ///
+    /// Every completed point's values are **bit-identical** to the
+    /// corresponding [`evaluate_all`](Self::evaluate_all) output: per-mix
+    /// results land in input-order slots and are reduced in mix order, so the
+    /// f64 addition sequence matches the batch path exactly, regardless of
+    /// worker count or completion order. `on_point` receives the point index,
+    /// the finished point, and the canonical [`MetricsSnapshot`] merged over
+    /// that point's mixes; returning `false` cancels the sweep (in-flight
+    /// simulations finish, no new ones start). Callbacks are serialized under
+    /// an internal lock — keep them fast and non-blocking.
+    ///
+    /// Returns one slot per input point (`None` for masked-out points and for
+    /// points not completed before a cancellation) plus the merged canonical
+    /// snapshot over all completed points.
+    pub fn evaluate_masked_streamed<F>(
+        &self,
+        points: &[SweepPoint],
+        run_point: &[bool],
+        on_point: F,
+    ) -> (Vec<Option<EvaluationPoint>>, MetricsSnapshot)
+    where
+        F: Fn(usize, &EvaluationPoint, &MetricsSnapshot) -> bool + Sync,
+    {
+        let n_mixes = self.mixes.len();
+        let results: Vec<Option<EvaluationPoint>> = vec![None; points.len()];
+        // Position of each selected point among the selected set (slot base).
+        let mut sel_pos: Vec<Option<usize>> = vec![None; points.len()];
+        let mut tasks: Vec<(usize, usize)> = Vec::new();
+        for p in 0..points.len() {
+            if run_point.get(p).copied().unwrap_or(false) {
+                if let Some(slot) = sel_pos.get_mut(p) {
+                    *slot = Some(tasks.len() / n_mixes.max(1));
+                }
+                tasks.extend((0..n_mixes).map(|m| (p, m)));
+            }
+        }
+        if n_mixes == 0 {
+            return (results, MetricsSnapshot::default());
+        }
+        let state = Mutex::new(StreamState {
+            slots: (0..tasks.len()).map(|_| None).collect(),
+            remaining: vec![n_mixes; tasks.len() / n_mixes],
+            results,
+            summary: MetricsSnapshot::default(),
+        });
+        let cancel = AtomicBool::new(false);
+        parallel::par_for_each(&tasks, self.threads, &cancel, |t, &(p, m)| {
+            let (norm, metrics, _) = self.simulate_task(points, p, m, NoopSink);
+            let (Some(point), Some(&Some(si))) = (points.get(p), sel_pos.get(p)) else {
+                return;
+            };
+            // lint: allow(panic) -- poisoned only if a worker panicked; propagating is correct
+            let mut st = state.lock().unwrap();
+            if let Some(slot) = st.slots.get_mut(t) {
+                *slot = Some((norm, metrics));
+            }
+            match st.remaining.get_mut(si) {
+                Some(rem) if *rem > 0 => {
+                    *rem -= 1;
+                    if *rem > 0 {
+                        return;
+                    }
+                }
+                _ => return,
+            }
+            // Last mix of this point: reduce in mix order (the same f64
+            // addition sequence as `aggregate`) and stream the result.
+            let base = si * n_mixes;
+            let mut sums = ZERO_METRICS;
+            let mut point_metrics = MetricsSnapshot::default();
+            for m in 0..n_mixes {
+                if let Some(Some((norm, snap))) = st.slots.get(base + m) {
+                    sums.weighted_speedup += norm.weighted_speedup;
+                    sums.harmonic_speedup += norm.harmonic_speedup;
+                    sums.max_slowdown += norm.max_slowdown;
+                    point_metrics.merge(snap);
+                }
+            }
+            let n = n_mixes as f64;
+            let done = EvaluationPoint {
+                defense: point.defense,
+                provider: point.provider.name().to_string(),
+                hc_first: point.hc_first,
+                normalized: SystemMetrics {
+                    weighted_speedup: sums.weighted_speedup / n,
+                    harmonic_speedup: sums.harmonic_speedup / n,
+                    max_slowdown: sums.max_slowdown / n,
+                },
+            };
+            st.summary.merge(&point_metrics);
+            if !on_point(p, &done, &point_metrics) {
+                cancel.store(true, Ordering::Release);
+            }
+            if let Some(slot) = st.results.get_mut(p) {
+                *slot = Some(done);
+            }
+        });
+        // lint: allow(panic) -- poisoned only if a worker panicked; propagating is correct
+        let st = state.into_inner().unwrap();
+        (st.results, st.summary)
+    }
+
     /// The flattened `(point, mix)` work list of a sweep, in input order.
     fn tasks(&self, points: &[SweepPoint]) -> Vec<(usize, usize)> {
         let n_mixes = self.mixes.len();
@@ -467,15 +601,17 @@ impl EvaluationHarness {
             .collect()
     }
 
-    /// Simulate one `(point, mix)` task with the given sink and normalize the
-    /// resulting metrics to that mix's no-defense baseline.
+    /// Simulate one `(point, mix)` task with the given sink, returning the
+    /// metrics normalized to that mix's no-defense baseline together with the
+    /// run's canonical observability snapshot (mode-independent: `diag.*`
+    /// diagnostics are stripped).
     fn simulate_task<S: ObsSink>(
         &self,
         points: &[SweepPoint],
         p: usize,
         m: usize,
         sink: S,
-    ) -> (SystemMetrics, S) {
+    ) -> (SystemMetrics, MetricsSnapshot, S) {
         let (Some(point), Some(mix), Some(alone), Some(base)) = (
             points.get(p),
             self.mixes.get(m),
@@ -483,7 +619,7 @@ impl EvaluationHarness {
             self.baseline.get(m),
         ) else {
             // Unreachable: tasks() only produces in-range indices.
-            return (ZERO_METRICS, sink);
+            return (ZERO_METRICS, MetricsSnapshot::default(), sink);
         };
         let mitigation = point.defense.build(
             point.provider.clone(),
@@ -492,7 +628,7 @@ impl EvaluationHarness {
         );
         let (run, sink) = run_mix_with_sink(mix, &self.config, mitigation, self.mode, sink);
         let metrics = SystemMetrics::compute(alone, &run.per_core_ipc);
-        (metrics.normalized_to(base), sink)
+        (metrics.normalized_to(base), run.metrics.canonical(), sink)
     }
 
     /// Average the per-task normalized metrics over mixes, one result per
@@ -632,6 +768,101 @@ mod tests {
         assert!(strict.normalized.weighted_speedup <= relaxed.normalized.weighted_speedup + 0.02);
         assert!(relaxed.normalized.weighted_speedup > 0.9);
         assert!(strict.normalized.weighted_speedup <= 1.01);
+    }
+
+    fn para_points(hcs: &[u64]) -> Vec<SweepPoint> {
+        hcs.iter()
+            .map(|&hc| SweepPoint {
+                defense: DefenseKind::Para,
+                provider: Arc::new(UniformThreshold::new(hc)) as SharedThresholdProvider,
+                hc_first: hc,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streamed_sweep_is_bit_identical_to_batch_sweep() {
+        let config = SystemConfig::tiny();
+        let mixes = tiny_mixes(2);
+        let points = para_points(&[64, 1024, 4096]);
+        let reference = EvaluationHarness::with_threads_and_mode(
+            config.clone(),
+            mixes.clone(),
+            1,
+            SimMode::FastForward,
+        )
+        .evaluate_all(&points);
+        for threads in [1, 2, 8] {
+            let harness = EvaluationHarness::with_threads_and_mode(
+                config.clone(),
+                mixes.clone(),
+                threads,
+                SimMode::FastForward,
+            );
+            let streamed = Mutex::new(Vec::new());
+            let (slots, summary) = harness.evaluate_all_streamed(&points, |p, point, metrics| {
+                streamed
+                    .lock()
+                    .unwrap()
+                    .push((p, point.clone(), metrics.clone()));
+                true
+            });
+            // Every slot filled, and bit-identical to the batch result.
+            let completed: Vec<EvaluationPoint> = slots.into_iter().map(|s| s.unwrap()).collect();
+            assert_eq!(completed, reference, "threads = {threads}");
+            // The callback saw each point exactly once, with the same values.
+            let mut seen = streamed.into_inner().unwrap();
+            seen.sort_by_key(|(p, _, _)| *p);
+            assert_eq!(seen.len(), points.len());
+            for (i, (p, point, metrics)) in seen.iter().enumerate() {
+                assert_eq!(*p, i);
+                assert_eq!(point, &reference[i]);
+                assert!(metrics.counter("mem.cycles") > 0);
+            }
+            // The summary is the merge of the per-point snapshots.
+            let mut merged = MetricsSnapshot::default();
+            for (_, _, metrics) in &seen {
+                merged.merge(metrics);
+            }
+            assert_eq!(summary, merged);
+        }
+    }
+
+    #[test]
+    fn masked_streamed_sweep_skips_unselected_points() {
+        let config = SystemConfig::tiny();
+        let mixes = tiny_mixes(2);
+        let points = para_points(&[64, 1024, 4096]);
+        let harness =
+            EvaluationHarness::with_threads_and_mode(config, mixes, 2, SimMode::FastForward);
+        let reference = harness.evaluate_all(&points);
+        let mask = [true, false, true];
+        let (slots, _) = harness.evaluate_masked_streamed(&points, &mask, |_, _, _| true);
+        assert_eq!(slots[0].as_ref(), Some(&reference[0]));
+        assert_eq!(slots[1], None);
+        assert_eq!(slots[2].as_ref(), Some(&reference[2]));
+    }
+
+    #[test]
+    fn streamed_sweep_can_be_cancelled_by_the_callback() {
+        let config = SystemConfig::tiny();
+        let mixes = tiny_mixes(1);
+        let points = para_points(&[64, 128, 256, 512, 1024, 2048, 4096, 8192]);
+        let harness =
+            EvaluationHarness::with_threads_and_mode(config, mixes, 1, SimMode::FastForward);
+        let (slots, _) = harness.evaluate_all_streamed(&points, |p, _, _| p == 0);
+        let completed = slots.iter().filter(|s| s.is_some()).count();
+        assert!(
+            completed < points.len(),
+            "cancellation did not stop the sweep"
+        );
+        // Whatever did complete matches the batch values exactly.
+        let reference = harness.evaluate_all(&points);
+        for (slot, expect) in slots.iter().zip(&reference) {
+            if let Some(point) = slot {
+                assert_eq!(point, expect);
+            }
+        }
     }
 
     #[test]
