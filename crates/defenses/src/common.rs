@@ -100,16 +100,21 @@ impl CountingBloomFilter {
     pub fn insert(&mut self, bank: BankId, row: usize) -> u32 {
         let idx = self.indices(bank, row);
         for &i in &idx {
-            self.counters[i] = self.counters[i].saturating_add(1);
+            if let Some(c) = self.counters.get_mut(i) {
+                *c = c.saturating_add(1);
+            }
         }
-        idx.iter().map(|&i| self.counters[i]).min().unwrap_or(0)
+        idx.iter()
+            .filter_map(|&i| self.counters.get(i).copied())
+            .min()
+            .unwrap_or(0)
     }
 
     /// Estimated count of a key (an overestimate, never an underestimate).
     pub fn estimate(&self, bank: BankId, row: usize) -> u32 {
         self.indices(bank, row)
             .iter()
-            .map(|&i| self.counters[i])
+            .filter_map(|&i| self.counters.get(i).copied())
             .min()
             .unwrap_or(0)
     }

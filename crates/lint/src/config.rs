@@ -28,6 +28,13 @@ pub struct LintConfig {
     /// Allocation constructs banned inside hot-path regions. Entries are either
     /// paths (`Vec::new`), macros (`vec!`), or bare method names (`clone`).
     pub hot_path_bans: Vec<String>,
+    /// Known metric names for the `metric-name` rule. Normally loaded from
+    /// the catalog doc at [`LintConfig::metric_catalog_path`]; when empty,
+    /// only the well-formedness half of the rule runs.
+    pub metric_catalog: Vec<String>,
+    /// Path (relative to the workspace root) of the metric-name catalog
+    /// document. Backticked dotted names in it become `metric_catalog`.
+    pub metric_catalog_path: String,
 }
 
 impl Default for LintConfig {
@@ -39,6 +46,7 @@ impl Default for LintConfig {
                 "hot-path-alloc",
                 "no-unsafe",
                 "crate-class",
+                "metric-name",
             ]
             .iter()
             .map(|r| (r.to_string(), true))
@@ -71,9 +79,11 @@ impl Default for LintConfig {
                 "env::vars",
                 "available_parallelism",
                 "RandomState",
-                // The obs wall-clock span timer: metric/event *recording* is
-                // cycle-domain-safe in sim crates, wall-clock profiling is not.
+                // The obs wall-clock timers: metric/event *recording* is
+                // cycle-domain-safe in sim crates, wall-clock profiling is
+                // not — neither the phase timer nor the span profiler clock.
                 "WallTimer::start",
+                "now_us",
             ]
             .iter()
             .map(|s| s.to_string())
@@ -95,6 +105,8 @@ impl Default for LintConfig {
             .iter()
             .map(|s| s.to_string())
             .collect(),
+            metric_catalog: Vec::new(),
+            metric_catalog_path: "crates/obs/README.md".to_string(),
         }
     }
 }
@@ -155,6 +167,15 @@ pub fn parse_config(text: &str) -> Result<LintConfig, String> {
             "scan" => match key {
                 "exclude" => config.exclude = parse_string_array(value).map_err(|m| err(&m))?,
                 _ => return Err(err(&format!("unknown key `{key}` in [scan]"))),
+            },
+            "metric-name" => match key {
+                "catalog" => {
+                    config.metric_catalog_path = parse_string(value).map_err(|m| err(&m))?
+                }
+                "names" => {
+                    config.metric_catalog = parse_string_array(value).map_err(|m| err(&m))?
+                }
+                _ => return Err(err(&format!("unknown key `{key}` in [metric-name]"))),
             },
             "" => return Err(err("key outside any [section]")),
             other => return Err(err(&format!("unknown section [{other}]"))),
@@ -260,6 +281,7 @@ mod tests {
             "hot-path-alloc",
             "no-unsafe",
             "crate-class",
+            "metric-name",
         ] {
             assert!(c.rule_enabled(rule), "{rule} should default on");
         }
@@ -293,6 +315,10 @@ baseline = "custom-baseline.txt"
 
 [scan]
 exclude = ["target", "vendor"]
+
+[metric-name]
+catalog = "docs/metrics.md"
+names = ["mem.reads", "server.queue_depth"]
 "#;
         let c = parse_config(text).expect("parses");
         assert!(c.rule_enabled("determinism"));
@@ -301,6 +327,8 @@ exclude = ["target", "vendor"]
         assert_eq!(c.non_sim_crates, vec!["bench", "server"]);
         assert_eq!(c.baseline_path, "custom-baseline.txt");
         assert_eq!(c.exclude, vec!["target", "vendor"]);
+        assert_eq!(c.metric_catalog_path, "docs/metrics.md");
+        assert_eq!(c.metric_catalog, vec!["mem.reads", "server.queue_depth"]);
     }
 
     #[test]

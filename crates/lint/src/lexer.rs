@@ -32,8 +32,9 @@ pub enum TokenKind {
 pub struct Token {
     /// What kind of token this is.
     pub kind: TokenKind,
-    /// The token text. For [`TokenKind::Str`] the text is empty (rules never
-    /// need string contents); for [`TokenKind::Punct`] it is one character.
+    /// The token text. For [`TokenKind::Str`] the text is the literal body
+    /// without quotes, hashes or prefix (the `metric-name` rule matches on
+    /// it); for [`TokenKind::Punct`] it is one character.
     pub text: String,
     /// 1-based source line on which the token starts.
     pub line: u32,
@@ -123,8 +124,8 @@ impl Lexer {
                 '/' if self.peek(1) == Some('/') => self.line_comment(line),
                 '/' if self.peek(1) == Some('*') => self.block_comment(line),
                 '"' => {
-                    self.string_literal();
-                    self.push_token(TokenKind::Str, String::new(), line);
+                    let body = self.string_literal();
+                    self.push_token(TokenKind::Str, body, line);
                 }
                 '\'' => self.char_or_lifetime(line),
                 c if is_ident_start(c) => self.ident_or_prefixed_literal(line),
@@ -191,28 +192,37 @@ impl Lexer {
     }
 
     /// A plain (non-raw) string literal body, starting at the opening quote.
-    fn string_literal(&mut self) {
+    /// Returns the body verbatim (escape sequences unprocessed) without the
+    /// surrounding quotes.
+    fn string_literal(&mut self) -> String {
         self.bump(); // opening quote
+        let mut body = String::new();
         while let Some(c) = self.bump() {
             match c {
                 '\\' => {
-                    self.bump();
+                    body.push(c);
+                    if let Some(escaped) = self.bump() {
+                        body.push(escaped);
+                    }
                 }
                 '"' => break,
-                _ => {}
+                _ => body.push(c),
             }
         }
+        body
     }
 
     /// A raw string body: `pos` is at the first `#` or the opening quote after
-    /// the `r` prefix. Consumes through the matching closing quote+hashes.
-    fn raw_string_literal(&mut self) {
+    /// the `r` prefix. Consumes through the matching closing quote+hashes and
+    /// returns the body without delimiters.
+    fn raw_string_literal(&mut self) -> String {
         let mut hashes = 0usize;
         while self.peek(0) == Some('#') {
             hashes += 1;
             self.bump();
         }
         self.bump(); // opening quote
+        let mut body = String::new();
         loop {
             match self.bump() {
                 None => break,
@@ -225,10 +235,15 @@ impl Lexer {
                     if seen == hashes {
                         break;
                     }
+                    body.push('"');
+                    for _ in 0..seen {
+                        body.push('#');
+                    }
                 }
-                Some(_) => {}
+                Some(c) => body.push(c),
             }
         }
+        body
     }
 
     /// After a `'`: decide between a char literal and a lifetime.
@@ -288,16 +303,16 @@ impl Lexer {
         let is_plain_prefix = matches!(text.as_str(), "b" | "c");
         match self.peek(0) {
             Some('"') if is_raw_prefix => {
-                self.raw_string_literal();
-                self.push_token(TokenKind::Str, String::new(), line);
+                let body = self.raw_string_literal();
+                self.push_token(TokenKind::Str, body, line);
             }
             Some('"') if is_plain_prefix => {
-                self.string_literal();
-                self.push_token(TokenKind::Str, String::new(), line);
+                let body = self.string_literal();
+                self.push_token(TokenKind::Str, body, line);
             }
             Some('#') if is_raw_prefix && self.peek(1).is_some_and(|c| c == '"' || c == '#') => {
-                self.raw_string_literal();
-                self.push_token(TokenKind::Str, String::new(), line);
+                let body = self.raw_string_literal();
+                self.push_token(TokenKind::Str, body, line);
             }
             Some('#') if text == "r" && self.peek(1).is_some_and(is_ident_start) => {
                 // Raw identifier r#async: lex the identifier part, keep its name.
@@ -451,6 +466,19 @@ mod tests {
         assert!(lexed.tokens.iter().all(|t| !t.is_ident("unwrap")));
         assert_eq!(lexed.comments.len(), 1);
         assert_eq!(lexed.comments[0].line, 1);
+    }
+
+    #[test]
+    fn string_tokens_carry_their_body() {
+        let src = r###"let a = "mem.reads"; let b = r#"raw "body""#; let c = "es\"caped";"###;
+        let lexed = lex(src);
+        let strings: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strings, vec!["mem.reads", "raw \"body\"", "es\\\"caped"]);
     }
 
     #[test]

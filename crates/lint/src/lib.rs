@@ -14,6 +14,8 @@
 //! | `no-unsafe`      | workspace-wide       | any `unsafe` token                    |
 //! | `crate-class`    | `crates/*`           | crates in neither the sim nor the     |
 //! |                  |                      | `non_sim` list of `lint.toml`         |
+//! | `metric-name`    | non-test code        | malformed or undocumented metric/span |
+//! |                  |                      | names passed to obs recording APIs    |
 //!
 //! See `crates/lint/README.md` for the rule catalogue, the baseline-ratchet
 //! workflow, and the inline suppression syntax.
@@ -166,10 +168,36 @@ fn collect_rust_files(root: &Path, config: &LintConfig) -> std::io::Result<Vec<S
     Ok(files)
 }
 
+/// Extract the metric-name catalog from a markdown document: every
+/// backtick-quoted dotted name matching `[a-z0-9][a-z0-9_.]*` (the dot
+/// requirement keeps ordinary backticked words out of the catalog).
+pub fn metric_catalog_from_doc(text: &str) -> Vec<String> {
+    let mut names: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for chunk in text.split('`').skip(1).step_by(2) {
+        let well_formed = chunk.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_lowercase() || c.is_ascii_digit() || (i > 0 && (c == '_' || c == '.'))
+        });
+        if well_formed && chunk.contains('.') && !chunk.is_empty() {
+            names.insert(chunk.to_string());
+        }
+    }
+    names.into_iter().collect()
+}
+
 /// Scan the workspace rooted at `root` and compare panic counts against the
 /// baseline at `config.baseline_path` (a missing baseline file is treated as
-/// all-zero, so every panic site errors until one is recorded).
+/// all-zero, so every panic site errors until one is recorded). When the
+/// `metric-name` rule is enabled and no explicit catalog is configured, the
+/// catalog is loaded from `config.metric_catalog_path` (a missing document
+/// leaves the catalog empty, reducing the rule to its well-formedness half).
 pub fn scan_workspace(root: &Path, config: &LintConfig) -> std::io::Result<WorkspaceReport> {
+    let mut owned = config.clone();
+    if owned.rule_enabled("metric-name") && owned.metric_catalog.is_empty() {
+        if let Ok(text) = std::fs::read_to_string(root.join(&owned.metric_catalog_path)) {
+            owned.metric_catalog = metric_catalog_from_doc(&text);
+        }
+    }
+    let config = &owned;
     let mut report = WorkspaceReport::default();
     let mut unlisted: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     for rel in collect_rust_files(root, config)? {
@@ -349,6 +377,19 @@ mod tests {
         let report = scan_workspace(&dir, &off).expect("scan");
         std::fs::remove_dir_all(&dir).ok();
         assert!(report.diagnostics.iter().all(|d| d.rule != "crate-class"));
+    }
+
+    #[test]
+    fn metric_catalog_extraction_keeps_only_dotted_wellformed_names() {
+        let doc = "# Catalog\n\
+                   `mem.reads` counts reads. `server.queue_wait_us` waits.\n\
+                   Not names: `svard-obs`, `MetricsSnapshot`, `plain`, `Bad.Case`,\n\
+                   `.leading`, and code like `let x = 1`.\n\
+                   `mem.reads` appears twice but is listed once.\n";
+        assert_eq!(
+            metric_catalog_from_doc(doc),
+            vec!["mem.reads".to_string(), "server.queue_wait_us".to_string()]
+        );
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //! * `hot-path-alloc` (R3) — allocation constructs inside `// lint: hot-path`
 //!   regions.
 //! * `no-unsafe` (R4) — any `unsafe` token, workspace-wide.
+//! * `metric-name` (R5) — string literals passed to obs registration and
+//!   recording APIs must be well-formed metric/span names
+//!   (`[a-z0-9][a-z0-9_.]*`) and, when a catalog is configured, documented
+//!   in it.
 //! * `bad-directive` — malformed `// lint:` directives (never suppressible).
 
 use crate::config::LintConfig;
@@ -121,6 +125,20 @@ const ORDER_SENSITIVE: &[&str] = &[
     "take",
 ];
 
+/// Obs registration/recording APIs whose first string-literal argument is a
+/// metric or span name subject to the `metric-name` rule.
+const METRIC_APIS: &[&str] = &[
+    "add_counter",
+    "raise_gauge",
+    "observe_hist",
+    "count",
+    "add",
+    "observe",
+    "observe_with_prior_p99",
+    "record",
+    "begin",
+];
+
 /// Analyze one file's source text.
 pub fn analyze_source(
     rel_path: &str,
@@ -176,6 +194,17 @@ pub fn analyze_source(
 
     if config.rule_enabled("hot-path-alloc") && !dirs.hot_paths.is_empty() {
         check_hot_paths(tokens, config, rel_path, &dirs, &mut report.diagnostics);
+    }
+
+    if config.rule_enabled("metric-name") {
+        check_metric_names(
+            tokens,
+            config,
+            rel_path,
+            &dirs,
+            &tests,
+            &mut report.diagnostics,
+        );
     }
 
     if config.rule_enabled("panic") && class.count_panics {
@@ -284,6 +313,71 @@ pub fn panic_sites(tokens: &[Token], test_ranges: &[(u32, u32)]) -> Vec<PanicSit
         }
     }
     sites
+}
+
+/// True if `name` matches `[a-z0-9][a-z0-9_.]*`.
+fn metric_name_well_formed(name: &str) -> bool {
+    let mut chars = name.chars();
+    let head_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_lowercase() || c.is_ascii_digit());
+    head_ok && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.')
+}
+
+/// R5: string literals passed to obs registration/recording APIs must be
+/// well-formed metric/span names and, when a catalog is configured, appear
+/// in it. Test code is exempt (fixtures invent throwaway names freely).
+fn check_metric_names(
+    tokens: &[Token],
+    config: &LintConfig,
+    rel_path: &str,
+    dirs: &Directives,
+    test_ranges: &[(u32, u32)],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident
+            || !METRIC_APIS.contains(&t.text.as_str())
+            || in_ranges(t.line, test_ranges)
+        {
+            continue;
+        }
+        let (Some(open), Some(arg)) = (tokens.get(i + 1), tokens.get(i + 2)) else {
+            continue;
+        };
+        if !open.is_punct('(') || arg.kind != TokenKind::Str {
+            continue;
+        }
+        if dirs.is_suppressed("metric-name", arg.line) {
+            continue;
+        }
+        let name = arg.text.as_str();
+        if !metric_name_well_formed(name) {
+            out.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: arg.line,
+                rule: "metric-name".to_string(),
+                message: format!(
+                    "metric name {name:?} passed to `{}` must match [a-z0-9][a-z0-9_.]*",
+                    t.text
+                ),
+                level: Level::Error,
+            });
+        } else if !config.metric_catalog.is_empty()
+            && !config.metric_catalog.iter().any(|m| m == name)
+        {
+            out.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: arg.line,
+                rule: "metric-name".to_string(),
+                message: format!(
+                    "metric name {name:?} is not documented in the catalog ({})",
+                    config.metric_catalog_path
+                ),
+                level: Level::Error,
+            });
+        }
+    }
 }
 
 /// R1a: forbidden wall-clock / entropy / environment calls.

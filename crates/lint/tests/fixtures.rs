@@ -19,13 +19,17 @@ const BOTH: FileClass = FileClass {
     count_panics: true,
 };
 
-fn analyze_fixture(name: &str, class: FileClass) -> FileReport {
+fn analyze_fixture_with(name: &str, class: FileClass, config: &LintConfig) -> FileReport {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name);
     let source =
         std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
-    analyze_source(name, &source, class, &LintConfig::default())
+    analyze_source(name, &source, class, config)
+}
+
+fn analyze_fixture(name: &str, class: FileClass) -> FileReport {
+    analyze_fixture_with(name, class, &LintConfig::default())
 }
 
 fn lines_for(report: &FileReport, rule: &str) -> Vec<u32> {
@@ -159,6 +163,45 @@ fn server_style_wall_clock_use_is_flagged_in_sim_crates() {
         "full report: {:#?}",
         report.diagnostics
     );
+}
+
+#[test]
+fn metric_name_fixture_flags_malformed_names_outside_tests() {
+    // Default config: the catalog is empty, so only the well-formedness half
+    // of the rule runs. Line 12 is suppressed; the test module is exempt.
+    let report = analyze_fixture("metric_name.rs", LIB);
+    assert_eq!(
+        lines_for(&report, "metric-name"),
+        vec![7, 9, 10, 14],
+        "full report: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn metric_name_fixture_flags_undocumented_names_when_a_catalog_is_set() {
+    let config = LintConfig {
+        metric_catalog: ["mem.reads", "server.queue_depth", "server.queue_wait"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        ..LintConfig::default()
+    };
+    let report = analyze_fixture_with("metric_name.rs", LIB, &config);
+    assert_eq!(
+        lines_for(&report, "metric-name"),
+        vec![7, 8, 9, 10, 14],
+        "line 8 is well-formed but undocumented: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn metric_name_rule_can_be_disabled() {
+    let mut config = LintConfig::default();
+    config.rules.insert("metric-name".to_string(), false);
+    let report = analyze_fixture_with("metric_name.rs", LIB, &config);
+    assert!(lines_for(&report, "metric-name").is_empty());
 }
 
 #[test]

@@ -1,0 +1,24 @@
+//! Fixture for the `metric-name` rule: string literals passed to obs
+//! recording APIs, well-formed and otherwise.
+
+pub fn record(stats: &mut svard_obs::MetricsSnapshot, spans: &mut svard_obs::SpanRecorder) {
+    stats.add_counter("mem.reads", 1);
+    stats.raise_gauge("server.queue_depth", 3);
+    stats.observe_hist("Server.Exec", 9);
+    stats.add_counter("undocumented.but_legal", 1);
+    stats.add_counter("_leading_underscore", 1);
+    stats.add_counter("mem reads", 1);
+    // lint: allow(metric-name) -- fixture demonstrates suppression
+    stats.add_counter("SUPPRESSED", 1);
+    spans.begin("server.queue_wait");
+    spans.record("Bad Span Name", 0, 1, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn throwaway_names_are_fine_in_tests() {
+        let mut s = svard_obs::MetricsSnapshot::default();
+        s.add_counter("Anything Goes In Tests", 1);
+    }
+}

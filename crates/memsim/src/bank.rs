@@ -57,11 +57,13 @@ impl RankTiming {
     pub fn next_act_allowed_cycles(&self, t_rrd_l: u64, t_faw: u64) -> u64 {
         let mut earliest = self.refresh_busy_until;
         if self.act_count > 0 {
-            let last = self.recent_acts[((self.act_count - 1) % 4) as usize];
+            let slot = ((self.act_count - 1) % 4) as usize;
+            let last = self.recent_acts.get(slot).copied().unwrap_or(0);
             earliest = earliest.max(last + t_rrd_l);
         }
         if self.act_count >= 4 {
-            let fourth_last = self.recent_acts[(self.act_count % 4) as usize];
+            let slot = (self.act_count % 4) as usize;
+            let fourth_last = self.recent_acts.get(slot).copied().unwrap_or(0);
             earliest = earliest.max(fourth_last + t_faw);
         }
         earliest
@@ -69,7 +71,9 @@ impl RankTiming {
 
     /// Record an activation at `cycle`.
     pub fn record_act(&mut self, cycle: u64) {
-        self.recent_acts[(self.act_count % 4) as usize] = cycle;
+        if let Some(slot) = self.recent_acts.get_mut((self.act_count % 4) as usize) {
+            *slot = cycle;
+        }
         self.act_count += 1;
     }
 

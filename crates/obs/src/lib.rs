@@ -11,13 +11,21 @@
 //!    timestamps, so a trace is a pure function of the simulated workload:
 //!    bit-identical across thread counts and across fast-forward vs
 //!    per-cycle execution.
-//! 3. **Phase profiling** — wall-clock span timers ([`wall`]) for the
-//!    harness boundary only. `svard-lint` forbids `WallTimer::start` inside
-//!    simulation crates; cycle-domain recording APIs are allowed anywhere.
+//! 3. **Phase profiling** — wall-clock span recording ([`span`], [`wall`])
+//!    for the harness and serving boundary only: begin/end pairs with parent
+//!    links and thread ids in bounded per-thread rings ([`Profiler`],
+//!    [`SpanRecorder`]), exportable as Chrome trace-event JSON, plus the
+//!    aggregate [`PhaseProfile`] summaries derived from them. `svard-lint`
+//!    forbids `WallTimer::start` and `now_us` inside simulation crates;
+//!    cycle-domain recording APIs are allowed anywhere.
 //!
 //! The hot-path contract is enforced through generics: simulation structs
 //! take an [`ObsSink`] type parameter defaulting to [`NoopSink`], whose
 //! recording methods are empty and compile to nothing.
+//!
+//! Two dependency-free exporters make the registry externally consumable:
+//! [`Profiler::chrome_trace_json`] for spans, and
+//! [`MetricsSnapshot::to_text`] for a flat `name value` exposition.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -25,11 +33,13 @@
 pub mod catalog;
 pub mod metrics;
 pub mod sink;
+pub mod span;
 pub mod trace;
 pub mod wall;
 
 pub use catalog::{Counter, EventKind, Gauge, Hist};
 pub use metrics::{HistogramSnapshot, MetricsSnapshot};
 pub use sink::{Collect, NoopSink, ObsSink, Recorder};
+pub use span::{Profiler, Span, SpanRecorder, DEFAULT_SPAN_CAPACITY};
 pub use trace::{TraceBuffer, TraceEvent};
 pub use wall::{PhaseProfile, WallTimer};

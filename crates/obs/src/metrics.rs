@@ -104,6 +104,28 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Upper-bound estimate of the `q`-quantile (`q` clamped to `0.0..=1.0`)
+    /// from the log2 buckets: the largest value the bucket holding the
+    /// rank-`ceil(q·count)` observation can contain. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (log2, n) in self.buckets.iter().enumerate() {
+            seen += *n;
+            if seen >= rank {
+                return match log2 {
+                    0 => 0,
+                    1..=63 => (1u64 << log2) - 1,
+                    _ => u64::MAX,
+                };
+            }
+        }
+        u64::MAX
+    }
 }
 
 /// A frozen, mergeable view of every metric recorded during a run.
@@ -136,6 +158,11 @@ impl MetricsSnapshot {
         if value > *slot {
             *slot = value;
         }
+    }
+
+    /// Record one value into the named histogram, creating it on first use.
+    pub fn observe_hist(&mut self, name: &'static str, value: u64) {
+        self.hists.entry(name).or_default().observe(value);
     }
 
     /// Look up a counter, defaulting to 0.
@@ -221,6 +248,30 @@ impl MetricsSnapshot {
             out.push_str("]}");
         }
         out.push_str("}}");
+        out
+    }
+
+    /// Render as a flat `name value` text exposition, one metric per line.
+    /// Counters come first, then gauges, then histograms (each expanded to
+    /// `name.count`, `name.sum`, and one `name.bucket.<log2>` line per
+    /// non-empty bucket); each group is in `BTreeMap` order, so the output
+    /// is deterministic. No terminator is appended — wire framing (e.g. the
+    /// server's `# EOF` line) is the transport's job.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        for (name, h) in &self.hists {
+            out.push_str(&format!("{name}.count {}\n", h.count));
+            out.push_str(&format!("{name}.sum {}\n", h.sum));
+            for (log2, n) in h.buckets.iter().enumerate().filter(|(_, n)| **n > 0) {
+                out.push_str(&format!("{name}.bucket.{log2} {n}\n"));
+            }
+        }
         out
     }
 }
@@ -311,6 +362,60 @@ mod tests {
         assert_eq!(canon.counter("diag.mem.ff_skips"), 0);
         assert_eq!(canon.counter("mem.cmd_issued"), s.counter("mem.cmd_issued"));
         assert!(!canon.to_json().contains("diag."));
+    }
+
+    #[test]
+    fn quantile_returns_bucket_upper_bounds() {
+        let mut h = HistogramSnapshot::default();
+        for _ in 0..90 {
+            h.observe(100); // bucket 7, upper bound 127
+        }
+        for _ in 0..10 {
+            h.observe(5_000); // bucket 13, upper bound 8191
+        }
+        assert_eq!(h.quantile(0.5), 127);
+        assert_eq!(h.quantile(0.9), 127);
+        assert_eq!(h.quantile(0.95), 8191);
+        assert_eq!(h.quantile(1.0), 8191);
+        assert_eq!(HistogramSnapshot::default().quantile(0.99), 0);
+        let mut zeros = HistogramSnapshot::default();
+        zeros.observe(0);
+        assert_eq!(zeros.quantile(0.99), 0);
+        let mut top = HistogramSnapshot::default();
+        top.observe(u64::MAX);
+        assert_eq!(top.quantile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn observe_hist_creates_and_records() {
+        let mut s = MetricsSnapshot::default();
+        s.observe_hist("mem.read_latency", 3);
+        s.observe_hist("mem.read_latency", 300);
+        let h = s.hists.get("mem.read_latency").expect("created");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 303);
+    }
+
+    #[test]
+    fn text_exposition_is_flat_ordered_and_complete() {
+        let mut s = MetricsSnapshot::default();
+        s.add_counter("mem.cmd_issued", 7);
+        s.raise_gauge("mem.read_queue_peak", 4);
+        s.observe_hist("mem.read_latency", 5);
+        s.observe_hist("mem.read_latency", 5);
+        let text = s.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "mem.cmd_issued 7",
+                "mem.read_queue_peak 4",
+                "mem.read_latency.count 2",
+                "mem.read_latency.sum 10",
+                "mem.read_latency.bucket.3 2",
+            ]
+        );
+        assert_eq!(text, s.clone().to_text(), "deterministic");
     }
 
     #[test]

@@ -5,13 +5,18 @@
 //!            [--defenses PARA] [--providers none,S0] [--hc-values 64]
 //!            [--mixes 1] [--cores 2] [--instructions 2000] [--rows 256]
 //!            [--seed 42] [--bins 8] [--prefix load] [--csv PATH] [--check]
+//!            [--metrics-out PATH] [--shutdown]
 //! ```
 //!
 //! Sweeps connection counts (and harness worker counts) against a running
 //! server, driving `--jobs` jobs per connection, and emits a throughput /
-//! latency CSV to stdout (and `--csv PATH` if given). With `--check`, also
-//! submits the same grid as two fresh jobs plus one resumed job and exits 1
-//! unless all point lines are bit-identical (after job-id normalization).
+//! latency CSV to stdout (and `--csv PATH` if given), including
+//! p50/p95/p99 per-point latency columns computed from client-side log2
+//! histograms. With `--check`, also submits the same grid as two fresh
+//! jobs plus one resumed job and exits 1 unless all point lines are
+//! bit-identical (after job-id normalization). `--metrics-out` scrapes the
+//! server's `metrics` exposition to a file after the sweep; `--shutdown`
+//! asks the server to exit once everything else is done.
 
 use svard_server::cli::{arg_flag, arg_list, arg_string, arg_u64, arg_usize};
 use svard_server::json::Json;
@@ -99,7 +104,7 @@ fn main() {
     let prefix = arg_string("prefix").unwrap_or_else(|| "load".to_string());
 
     let mut csv = String::from(
-        "connections,workers,jobs,points,wall_seconds,points_per_second,mean_point_latency_s\n",
+        "connections,workers,jobs,points,wall_seconds,points_per_second,mean_point_latency_s,p50_point_latency_s,p95_point_latency_s,p99_point_latency_s\n",
     );
     for &workers in &workers_list {
         let grid = match grid_from_args(workers) {
@@ -122,14 +127,17 @@ fn main() {
                         point.points_per_second
                     );
                     csv.push_str(&format!(
-                        "{},{},{},{},{:.6},{:.3},{:.6}\n",
+                        "{},{},{},{},{:.6},{:.3},{:.6},{:.6},{:.6},{:.6}\n",
                         point.connections,
                         point.workers,
                         point.jobs,
                         point.points,
                         point.wall_seconds,
                         point.points_per_second,
-                        point.mean_point_latency
+                        point.mean_point_latency,
+                        point.p50_point_latency,
+                        point.p95_point_latency,
+                        point.p99_point_latency
                     ));
                 }
                 Err(e) => {
@@ -159,6 +167,33 @@ fn main() {
             Err(e) => {
                 eprintln!("svard-load: check failed: {e}");
                 std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = arg_string("metrics-out") {
+        let scrape = Client::connect(&addr).and_then(|mut c| c.fetch_metrics());
+        match scrape {
+            Ok(lines) => {
+                let mut text = lines.join("\n");
+                text.push('\n');
+                if let Err(e) = std::fs::write(&path, &text) {
+                    eprintln!("svard-load: write {path}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!("# wrote {} metric lines to {path}", lines.len());
+            }
+            Err(e) => {
+                eprintln!("svard-load: metrics scrape failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if arg_flag("shutdown") {
+        match Client::connect(&addr).and_then(|mut c| c.request_shutdown()) {
+            Ok(()) => eprintln!("# server acknowledged shutdown"),
+            Err(e) => {
+                eprintln!("svard-load: shutdown failed: {e}");
+                std::process::exit(2);
             }
         }
     }

@@ -2,25 +2,33 @@
 //!
 //! ```text
 //! svard-server [--addr 127.0.0.1:7979] [--state-dir DIR] [--executors N]
+//!              [--profile-out trace.json] [--profile-spans N]
+//!              [--watchdog-multiple N]
 //! ```
 //!
 //! Prints `READY <addr>` once the listener is bound, then serves until
-//! killed. Job journals land in `--state-dir`; restarting with the same
-//! directory resumes interrupted jobs (completed points replay
-//! byte-identically instead of re-simulating).
+//! killed or until a client sends a `shutdown` request. Job journals land in
+//! `--state-dir`; restarting with the same directory resumes interrupted
+//! jobs (completed points replay byte-identically instead of
+//! re-simulating). With `--profile-out`, the merged wall-clock span rings
+//! are dumped as Chrome trace-event JSON on shutdown.
 
 use std::path::PathBuf;
 
-use svard_server::cli::{arg_string, arg_usize};
+use svard_obs::DEFAULT_SPAN_CAPACITY;
+use svard_server::cli::{arg_string, arg_u64, arg_usize};
 use svard_server::{serve, ServerConfig};
 
 fn main() {
+    let profile_out = arg_string("profile-out");
     let config = ServerConfig {
         addr: arg_string("addr").unwrap_or_else(|| "127.0.0.1:7979".to_string()),
         state_dir: PathBuf::from(
             arg_string("state-dir").unwrap_or_else(|| "svard-jobs".to_string()),
         ),
         executors: arg_usize("executors", 2),
+        profile_spans: arg_usize("profile-spans", DEFAULT_SPAN_CAPACITY),
+        watchdog_multiple: arg_u64("watchdog-multiple", 8),
     };
     let state_dir = config.state_dir.display().to_string();
     match serve(config) {
@@ -30,8 +38,19 @@ fn main() {
                 "# svard-server listening on {} (state: {state_dir})",
                 handle.addr()
             );
-            loop {
-                std::thread::sleep(std::time::Duration::from_secs(1));
+            while !handle.stop_requested() {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+            let profiler = handle.profiler().clone();
+            handle.shutdown();
+            if let Some(path) = profile_out {
+                match std::fs::write(&path, profiler.chrome_trace_json()) {
+                    Ok(()) => eprintln!("# svard-server: wrote span trace to {path}"),
+                    Err(e) => {
+                        eprintln!("svard-server: write {path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
         }
         Err(e) => {

@@ -20,7 +20,7 @@ use std::sync::{Arc, Mutex};
 use svard_core::Svard;
 use svard_cpusim::workload::WorkloadMix;
 use svard_defenses::{SharedThresholdProvider, UniformThreshold};
-use svard_obs::{PhaseProfile, WallTimer};
+use svard_obs::{PhaseProfile, Profiler};
 use svard_system::parallel::default_threads;
 use svard_system::{EvaluationHarness, SimMode, SweepPoint, SystemConfig};
 use svard_vulnerability::{ModuleSpec, ProfileGenerator};
@@ -28,6 +28,78 @@ use svard_vulnerability::{ModuleSpec, ProfileGenerator};
 use crate::jobstore::{JobJournal, JobStore};
 use crate::json::{merge_metric_objects, Json};
 use crate::protocol::{accepted_line, point_line, summary_line, GridSpec, PROVIDER_NONE};
+use crate::server::ServerStats;
+
+/// The watchdog stays quiet until the execute-time histogram has at least
+/// this many observations — a p99 over fewer points is noise.
+const WATCHDOG_MIN_POINTS: u64 = 16;
+
+/// Executor-side observability for one job run: the span store, the server
+/// metric registry, and the watchdog threshold.
+pub struct JobObs<'a> {
+    /// Span store and time base (a cheap clone of the server's profiler).
+    pub profiler: Profiler,
+    /// Registry receiving histograms, counters and per-job progress.
+    pub stats: &'a ServerStats,
+    /// Flag points slower than this multiple of the running p99 point
+    /// execute time (0 disables the watchdog).
+    pub watchdog_multiple: u64,
+}
+
+impl<'a> JobObs<'a> {
+    /// An observer that keeps no spans and never flags anything; timestamps
+    /// still work. For tests and offline tools.
+    pub fn disabled(stats: &'a ServerStats) -> JobObs<'a> {
+        JobObs {
+            profiler: Profiler::disabled(),
+            stats,
+            watchdog_multiple: 0,
+        }
+    }
+
+    /// Record one freshly completed point: execute/fsync histograms, the
+    /// completion counter, per-job progress, and the watchdog check against
+    /// the p99 of every *earlier* point.
+    fn on_point(
+        &self,
+        job_id: &str,
+        index: usize,
+        completed: usize,
+        points: usize,
+        t: PointTiming,
+    ) {
+        let (p99, prior) = self
+            .stats
+            .observe_with_prior_p99("server.point_exec_us", t.exec_us);
+        self.stats.observe("server.journal_fsync_us", t.fsync_us);
+        self.stats.add("server.points_completed", 1);
+        self.stats.set_progress(job_id, completed, points);
+        if self.watchdog_multiple > 0
+            && prior >= WATCHDOG_MIN_POINTS
+            && p99 > 0
+            && t.exec_us > self.watchdog_multiple.saturating_mul(p99)
+        {
+            self.stats.add("server.watchdog_slow_points", 1);
+            self.profiler.record(
+                "server.watchdog_slow",
+                t.exec_start_us,
+                t.exec_us,
+                index as u64,
+            );
+        }
+    }
+}
+
+/// Wall-clock timings for one completed point, as fed to [`JobObs::on_point`].
+#[derive(Clone, Copy)]
+struct PointTiming {
+    /// Start of the execute span (µs since the profiler epoch).
+    exec_start_us: u64,
+    /// Simulate time: gap to the previous completion on this executor.
+    exec_us: u64,
+    /// Journal append + fsync time.
+    fsync_us: u64,
+}
 
 /// What happened to a job run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +118,16 @@ pub struct JobReport {
 /// job run does. Exposed so tests (and offline tools) can compute the
 /// expected wire lines without a server in the loop.
 pub fn build_harness(grid: &GridSpec) -> (EvaluationHarness, Vec<SweepPoint>) {
+    build_harness_with_profiler(grid, Profiler::disabled())
+}
+
+/// [`build_harness`] with a span [`Profiler`]: harness construction and
+/// worker tasks record `harness.*` spans into it. Results are bit-identical
+/// either way.
+pub fn build_harness_with_profiler(
+    grid: &GridSpec,
+    profiler: Profiler,
+) -> (EvaluationHarness, Vec<SweepPoint>) {
     let mut config = SystemConfig::table4_scaled()
         .with_instructions(grid.instructions)
         .with_cores(grid.cores);
@@ -57,8 +139,13 @@ pub fn build_harness(grid: &GridSpec) -> (EvaluationHarness, Vec<SweepPoint>) {
     } else {
         grid.workers
     };
-    let harness =
-        EvaluationHarness::with_threads_and_mode(config, mixes, workers, SimMode::FastForward);
+    let harness = EvaluationHarness::with_threads_mode_profiler(
+        config,
+        mixes,
+        workers,
+        SimMode::FastForward,
+        profiler,
+    );
 
     // One vulnerability profile per referenced module label, then one provider
     // per (label, HC_first) pair, shared across defenses.
@@ -133,6 +220,7 @@ pub fn run_job(
     out: &Sender<String>,
     store: &JobStore,
     stop: &AtomicBool,
+    obs: &JobObs<'_>,
 ) -> Result<JobReport, String> {
     let journal = store.open_job(job_id, grid)?;
     let specs = grid.points();
@@ -144,6 +232,7 @@ pub fn run_job(
         resumed,
         cancelled,
     };
+    obs.stats.set_progress(job_id, resumed, n);
 
     if !send(out, accepted_line(job_id, n, resumed)) {
         return Ok(report(resumed, true));
@@ -154,9 +243,9 @@ pub fn run_job(
         }
     }
 
-    let timer = WallTimer::start();
+    let job_start_us = obs.profiler.now_us();
     let (fresh, sink) = if resumed < n {
-        let (harness, points) = build_harness(grid);
+        let (harness, points) = build_harness_with_profiler(grid, obs.profiler.clone());
         let mut mask = vec![true; n];
         for (&i, _) in journal.completed.range(..n) {
             if let Some(slot) = mask.get_mut(i) {
@@ -165,10 +254,13 @@ pub fn run_job(
         }
         // Journal-then-send under one lock: the callback is already
         // serialized by the harness, the Mutex just satisfies `Sync`.
+        // `last_us` starts after harness prep, so the first point's execute
+        // span covers simulation time only.
         let sink = Mutex::new(StreamSink {
             journal,
             out: out.clone(),
             failed: false,
+            last_us: obs.profiler.now_us(),
         });
         let _ = harness.evaluate_masked_streamed(&points, &mask, |i, point, metrics| {
             if stop.load(Ordering::Acquire) {
@@ -180,14 +272,46 @@ pub fn run_job(
                 // lint: allow(panic) -- poisoned only if a worker panicked; propagating is correct
                 Err(poisoned) => poisoned.into_inner(),
             };
+            // Point execute time is the stream-side gap since the previous
+            // completion (points finish concurrently; the stream is where
+            // per-point service time is well defined).
+            let done_us = obs.profiler.now_us();
+            let exec_us = done_us.saturating_sub(sink.last_us);
+            sink.last_us = done_us;
+            let exec_start_us = done_us.saturating_sub(exec_us);
+            obs.profiler
+                .record("server.execute", exec_start_us, exec_us, i as u64);
             if sink.journal.record_point(i, &line).is_err() {
                 sink.failed = true;
                 return false;
             }
+            let fsync_us = obs.profiler.now_us().saturating_sub(done_us);
+            obs.profiler
+                .record("server.journal", done_us, fsync_us, i as u64);
+            let send_start_us = obs.profiler.now_us();
             if !send(&sink.out, line) {
                 sink.failed = true;
                 return false;
             }
+            obs.profiler.record(
+                "server.send",
+                send_start_us,
+                obs.profiler.now_us().saturating_sub(send_start_us),
+                i as u64,
+            );
+            let completed = sink.journal.completed.range(..n).count();
+            drop(sink);
+            obs.on_point(
+                job_id,
+                i,
+                completed,
+                n,
+                PointTiming {
+                    exec_start_us,
+                    exec_us,
+                    fsync_us,
+                },
+            );
             true
         });
         let sink = match sink.into_inner() {
@@ -197,7 +321,7 @@ pub fn run_job(
         };
         let profile = PhaseProfile {
             phase: "job",
-            wall_seconds: timer.elapsed_seconds(),
+            wall_seconds: obs.profiler.now_us().saturating_sub(job_start_us) as f64 / 1e6,
             tasks: sink.journal.completed.range(..n).count() - resumed,
             // Per-task busy time is not tracked on the streamed path; the
             // profile reports span + throughput only.
@@ -220,6 +344,7 @@ pub fn run_job(
                 journal,
                 out: out.clone(),
                 failed: false,
+                last_us: job_start_us,
             },
         )
     };
@@ -239,6 +364,9 @@ struct StreamSink {
     journal: JobJournal,
     out: Sender<String>,
     failed: bool,
+    /// Profiler timestamp of the previous point completion (or of harness
+    /// readiness, for the first point) — the base of the execute-time gap.
+    last_us: u64,
 }
 
 #[cfg(test)]
@@ -273,7 +401,16 @@ mod tests {
         let grid = tiny_grid();
         let (tx, rx) = channel();
         let stop = AtomicBool::new(false);
-        let report = run_job("smoke", &grid, &tx, &store, &stop).unwrap();
+        let stats = ServerStats::default();
+        let report = run_job(
+            "smoke",
+            &grid,
+            &tx,
+            &store,
+            &stop,
+            &JobObs::disabled(&stats),
+        )
+        .unwrap();
         assert_eq!(
             report,
             JobReport {
@@ -296,11 +433,13 @@ mod tests {
         let store = temp_store("replay");
         let grid = tiny_grid();
         let stop = AtomicBool::new(false);
+        let stats = ServerStats::default();
+        let obs = JobObs::disabled(&stats);
         let (tx, rx) = channel();
-        run_job("again", &grid, &tx, &store, &stop).unwrap();
+        run_job("again", &grid, &tx, &store, &stop, &obs).unwrap();
         let first: Vec<String> = rx.try_iter().collect();
         let (tx, rx) = channel();
-        let report = run_job("again", &grid, &tx, &store, &stop).unwrap();
+        let report = run_job("again", &grid, &tx, &store, &stop, &obs).unwrap();
         assert_eq!(report.resumed, 2);
         assert!(!report.cancelled);
         let second: Vec<String> = rx.try_iter().collect();
@@ -316,8 +455,98 @@ mod tests {
         let grid = tiny_grid();
         let (tx, _rx) = channel();
         let stop = AtomicBool::new(true);
-        let report = run_job("halted", &grid, &tx, &store, &stop).unwrap();
+        let stats = ServerStats::default();
+        let report = run_job(
+            "halted",
+            &grid,
+            &tx,
+            &store,
+            &stop,
+            &JobObs::disabled(&stats),
+        )
+        .unwrap();
         assert!(report.cancelled);
         assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn an_instrumented_run_fills_histograms_progress_and_spans() {
+        let store = temp_store("instrumented");
+        let grid = tiny_grid();
+        let (tx, rx) = channel();
+        let stop = AtomicBool::new(false);
+        let stats = ServerStats::default();
+        let obs = JobObs {
+            profiler: Profiler::new(256),
+            stats: &stats,
+            watchdog_multiple: 8,
+        };
+        let report = run_job("spans", &grid, &tx, &store, &stop, &obs).unwrap();
+        assert_eq!(report.completed, 2);
+        drop(rx);
+        let snap = stats.snapshot();
+        assert_eq!(snap.counter("mem.cmd_issued"), 0, "no sim metrics leak in");
+        assert_eq!(snap.counter("server.points_completed"), 2);
+        let exec = snap.hists.get("server.point_exec_us").expect("exec hist");
+        assert_eq!(exec.count, 2);
+        let fsync = snap
+            .hists
+            .get("server.journal_fsync_us")
+            .expect("fsync hist");
+        assert_eq!(fsync.count, 2);
+        // One execute/journal/send span per fresh point.
+        let spans = obs.profiler.snapshot_spans();
+        for name in ["server.execute", "server.journal", "server.send"] {
+            assert_eq!(
+                spans.iter().filter(|s| s.name == name).count(),
+                2,
+                "{name} spans"
+            );
+        }
+        assert!(spans.iter().any(|s| s.name == "harness.sim_task"));
+    }
+
+    fn timing(exec_us: u64) -> PointTiming {
+        PointTiming {
+            exec_start_us: 0,
+            exec_us,
+            fsync_us: 10,
+        }
+    }
+
+    #[test]
+    fn watchdog_flags_points_beyond_the_running_p99() {
+        let stats = ServerStats::default();
+        let obs = JobObs {
+            profiler: Profiler::new(64),
+            stats: &stats,
+            watchdog_multiple: 8,
+        };
+        // 20 ordinary points (~100us): too few at first, then a stable p99.
+        for i in 0..20 {
+            obs.on_point("wd", i, i + 1, 100, timing(100));
+        }
+        assert_eq!(stats.snapshot().counter("server.watchdog_slow_points"), 0);
+        // A point 8x slower than the p99 upper bound (127us) trips the dog.
+        obs.on_point("wd", 20, 21, 100, timing(5_000));
+        let snap = stats.snapshot();
+        assert_eq!(snap.counter("server.watchdog_slow_points"), 1);
+        assert!(obs
+            .profiler
+            .snapshot_spans()
+            .iter()
+            .any(|s| s.name == "server.watchdog_slow" && s.arg == 20));
+        // Disabled watchdog stays quiet no matter what.
+        let quiet = ServerStats::default();
+        let obs = JobObs {
+            profiler: Profiler::new(64),
+            stats: &quiet,
+            watchdog_multiple: 0,
+        };
+        for i in 0..20 {
+            obs.on_point("wd", i, i + 1, 100, timing(100));
+        }
+        obs.on_point("wd", 20, 21, 100, timing(1_000_000));
+        assert_eq!(quiet.snapshot().counter("server.watchdog_slow_points"), 0);
     }
 }

@@ -12,10 +12,11 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use svard_obs::WallTimer;
+use svard_obs::{HistogramSnapshot, WallTimer};
 
 use crate::json::Json;
 use crate::protocol::GridSpec;
+use crate::server::METRICS_EOF;
 
 /// A line-oriented connection to a sweep server.
 pub struct Client {
@@ -55,6 +56,14 @@ pub struct LoadPoint {
     pub points_per_second: f64,
     /// Mean submit-to-arrival latency over all points, in seconds.
     pub mean_point_latency: f64,
+    /// Median per-point latency in seconds, from the client-side log2
+    /// histogram of microsecond latencies (bucket upper bound, so a
+    /// conservative estimate).
+    pub p50_point_latency: f64,
+    /// 95th-percentile per-point latency in seconds (bucket upper bound).
+    pub p95_point_latency: f64,
+    /// 99th-percentile per-point latency in seconds (bucket upper bound).
+    pub p99_point_latency: f64,
 }
 
 impl Client {
@@ -160,6 +169,38 @@ impl Client {
         }
         Ok(outcome)
     }
+
+    /// Request the server's flat `name value` metrics exposition. Returns
+    /// the exposition lines (without the `# EOF` terminator).
+    pub fn fetch_metrics(&mut self) -> Result<Vec<String>, String> {
+        self.send_line("{\"type\":\"metrics\"}")?;
+        let mut lines = Vec::new();
+        loop {
+            let line = self
+                .read_line()?
+                .ok_or("server closed the connection mid-exposition")?;
+            if line == METRICS_EOF {
+                return Ok(lines);
+            }
+            lines.push(line);
+        }
+    }
+
+    /// Ask the server to shut down. Returns once the server acknowledges
+    /// with a `bye` record (it closes the listener shortly after).
+    pub fn request_shutdown(&mut self) -> Result<(), String> {
+        self.send_line("{\"type\":\"shutdown\"}")?;
+        match self.read_line()? {
+            Some(line) => {
+                let record = Json::parse(&line).map_err(|e| format!("bad bye line: {e}"))?;
+                match record.get("type").and_then(Json::as_str) {
+                    Some("bye") => Ok(()),
+                    _ => Err(format!("unexpected shutdown response: {line}")),
+                }
+            }
+            None => Ok(()),
+        }
+    }
 }
 
 /// Drive `jobs_per_connection` jobs through each of `connections` concurrent
@@ -201,12 +242,16 @@ pub fn run_load(
     let mut jobs = 0usize;
     let mut latency_sum = 0.0f64;
     let mut latency_count = 0usize;
+    let mut latency_hist = HistogramSnapshot::default();
     for result in outcomes {
         for outcome in result? {
             jobs += 1;
             points += outcome.point_lines.len();
             latency_count += outcome.point_latencies.len();
             latency_sum += outcome.point_latencies.iter().sum::<f64>();
+            for &latency in &outcome.point_latencies {
+                latency_hist.observe((latency * 1e6) as u64);
+            }
         }
     }
     Ok(LoadPoint {
@@ -225,5 +270,8 @@ pub fn run_load(
         } else {
             0.0
         },
+        p50_point_latency: latency_hist.quantile(0.50) as f64 / 1e6,
+        p95_point_latency: latency_hist.quantile(0.95) as f64 / 1e6,
+        p99_point_latency: latency_hist.quantile(0.99) as f64 / 1e6,
     })
 }

@@ -46,4 +46,4 @@ pub mod server;
 
 pub use client::{run_load, Client, JobOutcome, LoadPoint};
 pub use protocol::GridSpec;
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, ServerConfig, ServerHandle, METRICS_EOF};

@@ -20,6 +20,9 @@ pub struct QueuedJob {
     /// Where to stream response lines; the connection thread drains the
     /// receiving end. Dropped senders mean the client went away.
     pub out: Sender<String>,
+    /// Enqueue timestamp in profiler microseconds; the executor turns it
+    /// into the `server.queue_wait` span and histogram.
+    pub enqueued_us: u64,
 }
 
 struct Inner {
@@ -99,6 +102,11 @@ impl JobQueue {
         self.lock().depth_peak
     }
 
+    /// Jobs currently waiting (excludes jobs already executing).
+    pub fn depth(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
         match self.inner.lock() {
             Ok(guard) => guard,
@@ -120,6 +128,7 @@ mod tests {
             job_id: id.to_string(),
             grid: GridSpec::default(),
             out: tx,
+            enqueued_us: 0,
         }
     }
 
@@ -129,8 +138,11 @@ mod tests {
         assert!(q.push(job("a")));
         assert!(q.push(job("b")));
         assert_eq!(q.depth_peak(), 2);
+        assert_eq!(q.depth(), 2);
         assert_eq!(q.pop().map(|j| j.job_id), Some("a".to_string()));
         assert_eq!(q.pop().map(|j| j.job_id), Some("b".to_string()));
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.depth_peak(), 2, "peak survives the drain");
     }
 
     #[test]

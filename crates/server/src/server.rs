@@ -11,6 +11,7 @@
 //! This crate is non-sim: wall-clock I/O timeouts and `server.*` operational
 //! metrics below never touch the simulated clock domain.
 
+use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -20,9 +21,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use svard_obs::MetricsSnapshot;
+use svard_obs::{MetricsSnapshot, Profiler, SpanRecorder, DEFAULT_SPAN_CAPACITY};
 
-use crate::bridge;
+use crate::bridge::{self, JobObs};
 use crate::jobstore::{validate_job_id, JobStore};
 use crate::json::Json;
 use crate::protocol::{error_line, GridSpec};
@@ -31,6 +32,9 @@ use crate::queue::{JobQueue, QueuedJob};
 /// How long blocking reads and queue polls wait before re-checking the stop
 /// flag. Purely an operational liveness knob; never affects results.
 const POLL: Duration = Duration::from_millis(50);
+
+/// Terminator line of the `metrics` text exposition stream.
+pub const METRICS_EOF: &str = "# EOF";
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -41,18 +45,61 @@ pub struct ServerConfig {
     pub state_dir: PathBuf,
     /// Executor threads (concurrently running jobs); at least 1.
     pub executors: usize,
+    /// Per-thread span-ring capacity for lifecycle tracing; 0 disables span
+    /// recording entirely (histograms and counters stay on).
+    pub profile_spans: usize,
+    /// Executor watchdog: count and trace-flag points slower than this
+    /// multiple of the running p99 point-execute time (0 disables).
+    pub watchdog_multiple: u64,
 }
 
-/// Operational metrics, exposed through the `stats` request.
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7979".to_string(),
+            state_dir: PathBuf::from("svard-jobs"),
+            executors: 2,
+            profile_spans: DEFAULT_SPAN_CAPACITY,
+            watchdog_multiple: 8,
+        }
+    }
+}
+
+/// Operational metrics, exposed through the `stats` and `metrics` requests.
 #[derive(Default)]
 pub struct ServerStats {
     metrics: Mutex<MetricsSnapshot>,
     inflight: AtomicUsize,
+    /// Per-job progress (completed, total points) of accepted jobs that have
+    /// not finished yet; keyed by job id.
+    progress: Mutex<BTreeMap<String, (usize, usize)>>,
 }
 
 impl ServerStats {
-    fn count(&self, name: &'static str) {
-        self.with(|m| m.add_counter(name, 1));
+    pub(crate) fn count(&self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    pub(crate) fn add(&self, name: &'static str, delta: u64) {
+        self.with(|m| m.add_counter(name, delta));
+    }
+
+    pub(crate) fn observe(&self, name: &'static str, value: u64) {
+        self.with(|m| m.observe_hist(name, value));
+    }
+
+    /// Record `value` into the named histogram, returning the p99 and count
+    /// of the distribution *before* this observation — what a watchdog needs
+    /// to judge the new value against its predecessors.
+    pub(crate) fn observe_with_prior_p99(&self, name: &'static str, value: u64) -> (u64, u64) {
+        let mut prior = (0, 0);
+        self.with(|m| {
+            if let Some(h) = m.hists.get(name) {
+                prior = (h.quantile(0.99), h.count);
+            }
+            m.observe_hist(name, value);
+        });
+        prior
     }
 
     fn with<F: FnOnce(&mut MetricsSnapshot)>(&self, f: F) {
@@ -64,6 +111,48 @@ impl ServerStats {
         f(&mut metrics);
     }
 
+    /// Record a job's progress, shown in the `stats` record's `jobs` object.
+    pub fn set_progress(&self, job_id: &str, completed: usize, points: usize) {
+        let mut progress = match self.progress.lock() {
+            Ok(guard) => guard,
+            // lint: allow(panic) -- poisoned only if a holder panicked; propagating is correct
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        progress.insert(job_id.to_string(), (completed, points));
+    }
+
+    /// Drop a finished job from the progress table.
+    pub fn clear_progress(&self, job_id: &str) {
+        let mut progress = match self.progress.lock() {
+            Ok(guard) => guard,
+            // lint: allow(panic) -- poisoned only if a holder panicked; propagating is correct
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        progress.remove(job_id);
+    }
+
+    /// Per-job progress as a deterministic JSON object:
+    /// `{"job": {"completed": 3, "points": 8}, ...}`.
+    pub fn progress_json(&self) -> String {
+        let progress = match self.progress.lock() {
+            Ok(guard) => guard,
+            // lint: allow(panic) -- poisoned only if a holder panicked; propagating is correct
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut out = String::from("{");
+        for (i, (job_id, (completed, points))) in progress.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"completed\":{completed},\"points\":{points}}}",
+                Json::str(job_id).render()
+            ));
+        }
+        out.push('}');
+        out
+    }
+
     /// A frozen copy of the current metrics.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::default();
@@ -72,12 +161,27 @@ impl ServerStats {
     }
 }
 
+/// The full registry view served to `stats` and `metrics` requests: the
+/// recorded counters and histograms plus live queue-depth and inflight
+/// gauges (inserted even when 0, so scrapers always see the keys).
+fn registry_snapshot(stats: &ServerStats, queue: &JobQueue) -> MetricsSnapshot {
+    let mut snap = stats.snapshot();
+    snap.raise_gauge("server.queue_depth", queue.depth() as u64);
+    snap.raise_gauge("server.queue_depth_peak", queue.depth_peak() as u64);
+    snap.raise_gauge(
+        "server.jobs_inflight",
+        stats.inflight.load(Ordering::Acquire) as u64,
+    );
+    snap
+}
+
 /// A running server: background threads plus the handle to stop them.
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     queue: Arc<JobQueue>,
     stats: Arc<ServerStats>,
+    profiler: Profiler,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -89,9 +193,20 @@ impl ServerHandle {
 
     /// A frozen copy of the operational metrics.
     pub fn stats_snapshot(&self) -> MetricsSnapshot {
-        let mut snap = self.stats.snapshot();
-        snap.raise_gauge("server.queue_depth_peak", self.queue.depth_peak() as u64);
-        snap
+        registry_snapshot(&self.stats, &self.queue)
+    }
+
+    /// The server's span profiler. Clone it before [`ServerHandle::shutdown`]
+    /// to export the merged span rings (every per-thread ring is flushed as
+    /// its thread exits during shutdown).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Whether a `shutdown` wire request has asked the server to stop (the
+    /// `svard-server` binary polls this to exit cleanly).
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
     }
 
     /// Stop accepting, drain the queue, and join every background thread.
@@ -120,23 +235,35 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, String> {
     let stop = Arc::new(AtomicBool::new(false));
     let queue = Arc::new(JobQueue::new());
     let stats = Arc::new(ServerStats::default());
+    let profiler = if config.profile_spans > 0 {
+        Profiler::new(config.profile_spans)
+    } else {
+        Profiler::disabled()
+    };
 
     let mut threads = Vec::new();
     for _ in 0..config.executors.max(1) {
-        let (queue, store, stats, stop) = (
+        let (queue, store, stats, stop, profiler) = (
             Arc::clone(&queue),
             Arc::clone(&store),
             Arc::clone(&stats),
             Arc::clone(&stop),
+            profiler.clone(),
         );
+        let watchdog_multiple = config.watchdog_multiple;
         threads.push(std::thread::spawn(move || {
-            executor_loop(&queue, &store, &stats, &stop)
+            executor_loop(&queue, &store, &stats, &stop, &profiler, watchdog_multiple)
         }));
     }
     {
-        let (queue, stats, stop) = (Arc::clone(&queue), Arc::clone(&stats), Arc::clone(&stop));
+        let (queue, stats, stop, profiler) = (
+            Arc::clone(&queue),
+            Arc::clone(&stats),
+            Arc::clone(&stop),
+            profiler.clone(),
+        );
         threads.push(std::thread::spawn(move || {
-            accept_loop(listener, &queue, &stats, &stop)
+            accept_loop(listener, &queue, &stats, &stop, &profiler)
         }));
     }
     Ok(ServerHandle {
@@ -144,15 +271,32 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, String> {
         stop,
         queue,
         stats,
+        profiler,
         threads,
     })
 }
 
-fn executor_loop(queue: &JobQueue, store: &JobStore, stats: &ServerStats, stop: &AtomicBool) {
+fn executor_loop(
+    queue: &JobQueue,
+    store: &JobStore,
+    stats: &ServerStats,
+    stop: &AtomicBool,
+    profiler: &Profiler,
+    watchdog_multiple: u64,
+) {
+    let mut spans = profiler.recorder();
     while let Some(job) = queue.pop() {
+        let wait_us = profiler.now_us().saturating_sub(job.enqueued_us);
+        spans.record("server.queue_wait", job.enqueued_us, wait_us, 0);
+        stats.observe("server.queue_wait_us", wait_us);
         let inflight = stats.inflight.fetch_add(1, Ordering::AcqRel) + 1;
         stats.with(|m| m.raise_gauge("server.jobs_inflight_peak", inflight as u64));
-        match bridge::run_job(&job.job_id, &job.grid, &job.out, store, stop) {
+        let obs = JobObs {
+            profiler: profiler.clone(),
+            stats,
+            watchdog_multiple,
+        };
+        match bridge::run_job(&job.job_id, &job.grid, &job.out, store, stop, &obs) {
             Ok(report) => {
                 stats.with(|m| {
                     m.add_counter(
@@ -175,7 +319,11 @@ fn executor_loop(queue: &JobQueue, store: &JobStore, stats: &ServerStats, stop: 
                 let _ = job.out.send(error_line(&message));
             }
         }
+        stats.clear_progress(&job.job_id);
         stats.inflight.fetch_sub(1, Ordering::AcqRel);
+        // Spans become visible to `--profile-out` as they are recorded, not
+        // only at shutdown.
+        spans.flush();
     }
 }
 
@@ -184,16 +332,31 @@ fn accept_loop(
     queue: &Arc<JobQueue>,
     stats: &Arc<ServerStats>,
     stop: &Arc<AtomicBool>,
+    profiler: &Profiler,
 ) {
+    let mut spans = profiler.recorder();
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
+                let accepted_us = profiler.now_us();
                 stats.count("server.connections");
-                let (queue, stats, stop) = (Arc::clone(queue), Arc::clone(stats), Arc::clone(stop));
+                let (queue, stats, stop, conn_profiler) = (
+                    Arc::clone(queue),
+                    Arc::clone(stats),
+                    Arc::clone(stop),
+                    profiler.clone(),
+                );
                 connections.push(std::thread::spawn(move || {
-                    handle_connection(stream, &queue, &stats, &stop)
+                    handle_connection(stream, &queue, &stats, &stop, &conn_profiler)
                 }));
+                spans.record(
+                    "server.accept",
+                    accepted_us,
+                    profiler.now_us().saturating_sub(accepted_us),
+                    connections.len() as u64,
+                );
+                spans.flush();
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL);
@@ -212,6 +375,7 @@ fn handle_connection(
     queue: &JobQueue,
     stats: &ServerStats,
     stop: &AtomicBool,
+    profiler: &Profiler,
 ) {
     // A short read timeout keeps the thread responsive to shutdown without
     // busy-waiting; partial lines accumulate in `acc` across reads (a plain
@@ -222,6 +386,7 @@ fn handle_connection(
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
+    let mut spans = profiler.recorder();
     let mut acc: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     while !stop.load(Ordering::Acquire) {
@@ -231,7 +396,9 @@ fn handle_connection(
             if line.is_empty() {
                 continue;
             }
-            if !handle_request(&line, &mut writer, queue, stats, stop) {
+            let keep_going = handle_request(&line, &mut writer, queue, stats, stop, &mut spans);
+            spans.flush();
+            if !keep_going {
                 return;
             }
         }
@@ -259,8 +426,12 @@ fn handle_request(
     queue: &JobQueue,
     stats: &ServerStats,
     stop: &AtomicBool,
+    spans: &mut SpanRecorder,
 ) -> bool {
-    let request = match Json::parse(line) {
+    spans.begin("server.parse");
+    let parsed = Json::parse(line);
+    spans.end(line.len() as u64);
+    let request = match parsed {
         Ok(value) => value,
         Err(e) => {
             stats.count("server.errors");
@@ -270,14 +441,33 @@ fn handle_request(
     match request.get("type").and_then(Json::as_str) {
         Some("ping") => write_line(writer, "{\"type\":\"pong\"}"),
         Some("stats") => {
-            let mut snap = stats.snapshot();
-            snap.raise_gauge("server.queue_depth_peak", queue.depth_peak() as u64);
+            let snap = registry_snapshot(stats, queue);
             write_line(
                 writer,
-                &format!("{{\"type\":\"stats\",\"metrics\":{}}}", snap.to_json()),
+                &format!(
+                    "{{\"type\":\"stats\",\"metrics\":{},\"jobs\":{}}}",
+                    snap.to_json(),
+                    stats.progress_json()
+                ),
             )
         }
-        Some("submit") => handle_submit(&request, writer, queue, stats, stop),
+        Some("metrics") => {
+            let text = registry_snapshot(stats, queue).to_text();
+            for metric_line in text.lines() {
+                if !write_line(writer, metric_line) {
+                    return false;
+                }
+            }
+            write_line(writer, METRICS_EOF)
+        }
+        Some("shutdown") => {
+            // Acknowledge, then raise the stop flag the accept loop,
+            // connection handlers and the `svard-server` binary all poll.
+            let _ = write_line(writer, "{\"type\":\"bye\"}");
+            stop.store(true, Ordering::Release);
+            false
+        }
+        Some("submit") => handle_submit(&request, writer, queue, stats, stop, spans),
         _ => {
             stats.count("server.errors");
             write_line(writer, &error_line("unknown request type"))
@@ -291,15 +481,19 @@ fn handle_submit(
     queue: &JobQueue,
     stats: &ServerStats,
     stop: &AtomicBool,
+    spans: &mut SpanRecorder,
 ) -> bool {
+    spans.begin("server.validate");
     let job_id = match request.get("job_id").and_then(Json::as_str) {
         Some(id) => id.to_string(),
         None => {
+            spans.end(1);
             stats.count("server.errors");
             return write_line(writer, &error_line("submit requires a job_id"));
         }
     };
     if let Err(e) = validate_job_id(&job_id) {
+        spans.end(1);
         stats.count("server.errors");
         return write_line(writer, &error_line(&e));
     }
@@ -307,18 +501,21 @@ fn handle_submit(
         Some(value) => match GridSpec::from_json(value) {
             Ok(grid) => grid,
             Err(e) => {
+                spans.end(1);
                 stats.count("server.errors");
                 return write_line(writer, &error_line(&format!("invalid grid: {e}")));
             }
         },
         None => GridSpec::default(),
     };
+    spans.end(0);
     stats.count("server.jobs_submitted");
     let (tx, rx) = channel();
     if !queue.push(QueuedJob {
         job_id,
         grid,
         out: tx,
+        enqueued_us: spans.profiler().now_us(),
     }) {
         return write_line(writer, &error_line("server is shutting down"));
     }

@@ -41,6 +41,7 @@ fn start_server(tag: &str) -> svard_server::ServerHandle {
         addr: "127.0.0.1:0".to_string(),
         state_dir: temp_dir(tag),
         executors: 2,
+        ..ServerConfig::default()
     })
     .unwrap()
 }
@@ -141,6 +142,7 @@ fn a_killed_job_resumes_from_the_journal_with_byte_identical_lines() {
         addr: "127.0.0.1:0".to_string(),
         state_dir,
         executors: 1,
+        ..ServerConfig::default()
     })
     .unwrap();
     let addr = server.addr().to_string();
@@ -186,17 +188,143 @@ fn a_client_that_vanishes_cancels_the_job_without_corrupting_state() {
     let state_dir = temp_dir("vanish");
     let store = JobStore::new(&state_dir).unwrap();
     let stop = AtomicBool::new(false);
+    let stats = svard_server::server::ServerStats::default();
+    let obs = bridge::JobObs::disabled(&stats);
     let (tx, rx) = channel();
     drop(rx);
-    let report = bridge::run_job("gone", &grid, &tx, &store, &stop).unwrap();
+    let report = bridge::run_job("gone", &grid, &tx, &store, &stop, &obs).unwrap();
     assert!(report.cancelled);
     assert_eq!(report.completed, 0);
     // The journal is still resumable afterwards.
     let (tx, rx) = channel();
-    let report = bridge::run_job("gone", &grid, &tx, &store, &stop).unwrap();
+    let report = bridge::run_job("gone", &grid, &tx, &store, &stop, &obs).unwrap();
     assert!(!report.cancelled);
     assert_eq!(report.completed, 4);
     drop(rx);
+}
+
+#[test]
+fn observability_does_not_perturb_point_lines_or_resume_identity() {
+    // The same grid, served by a fully-instrumented server (spans on,
+    // watchdog on, a second connection hammering `metrics` mid-job) and by
+    // a server with observability fully disabled, must produce byte-identical
+    // point lines — and both must match the direct harness run.
+    let grid = tiny_grid(2);
+    let want: Vec<String> = reference_lines(&grid)
+        .iter()
+        .map(|l| normalize(l))
+        .collect();
+
+    let sorted_lines = |outcome: &svard_server::JobOutcome| {
+        let mut got: Vec<String> = outcome.point_lines.iter().map(|l| normalize(l)).collect();
+        got.sort();
+        got
+    };
+    let mut want_sorted = want.clone();
+    want_sorted.sort();
+
+    // Instrumented server: spans + watchdog enabled (the defaults), with a
+    // concurrent metrics poller racing the job.
+    let instrumented = start_server("obs-on");
+    let addr = instrumented.addr().to_string();
+    let poll_stop = std::sync::Arc::new(AtomicBool::new(false));
+    let poller = {
+        let addr = addr.clone();
+        let poll_stop = std::sync::Arc::clone(&poll_stop);
+        std::thread::spawn(move || {
+            let mut scrapes = 0usize;
+            let mut client = Client::connect(&addr).unwrap();
+            while !poll_stop.load(std::sync::atomic::Ordering::Acquire) {
+                let lines = client.fetch_metrics().unwrap();
+                assert!(!lines.is_empty(), "exposition is never empty");
+                scrapes += 1;
+            }
+            scrapes
+        })
+    };
+    let mut client = Client::connect(&addr).unwrap();
+    let on = client.run_job("obs-on", &grid).unwrap();
+    poll_stop.store(true, std::sync::atomic::Ordering::Release);
+    let scrapes = poller.join().unwrap();
+    assert!(scrapes > 0, "the poller actually raced the job");
+
+    // The scrape sees the instrumentation: histograms counted every point.
+    let metrics = Client::connect(&addr).unwrap().fetch_metrics().unwrap();
+    let metric_value = |name: &str| -> Option<u64> {
+        metrics.iter().find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .and_then(|v| v.parse().ok())
+        })
+    };
+    assert_eq!(metric_value("server.points_completed"), Some(4));
+    assert_eq!(metric_value("server.point_exec_us.count"), Some(4));
+    assert_eq!(metric_value("server.queue_wait_us.count"), Some(1));
+    assert_eq!(metric_value("server.queue_depth"), Some(0));
+    instrumented.shutdown();
+
+    // Dark server: no span storage, no watchdog.
+    let dark = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        state_dir: temp_dir("obs-off"),
+        executors: 1,
+        profile_spans: 0,
+        watchdog_multiple: 0,
+    })
+    .unwrap();
+    let mut client = Client::connect(&dark.addr().to_string()).unwrap();
+    let off = client.run_job("obs-off", &grid).unwrap();
+    // Resume against the dark server replays the journaled lines verbatim.
+    let resumed = client.run_job("obs-off", &grid).unwrap();
+    assert_eq!(resumed.resumed, 4);
+    dark.shutdown();
+
+    assert_eq!(sorted_lines(&on), want_sorted, "instrumented == direct");
+    assert_eq!(sorted_lines(&off), want_sorted, "dark == direct");
+    // Replay is index-ordered while the fresh stream is completion-ordered,
+    // so byte-identity is per line, not per stream position.
+    assert_eq!(
+        sorted_lines(&resumed),
+        sorted_lines(&off),
+        "resume replay is byte-identical under disabled observability"
+    );
+}
+
+#[test]
+fn metrics_shutdown_and_enriched_stats_speak_the_wire_protocol() {
+    let server = start_server("wire");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // A fresh server already exposes the live gauges, even at zero.
+    let lines = client.fetch_metrics().unwrap();
+    for key in ["server.queue_depth", "server.jobs_inflight"] {
+        assert!(
+            lines.iter().any(|l| l.starts_with(&format!("{key} "))),
+            "missing {key} in {lines:?}"
+        );
+    }
+
+    // `stats` now carries the full registry snapshot plus per-job progress.
+    let outcome = client.run_job("wire-job", &tiny_grid(1)).unwrap();
+    assert_eq!(outcome.points, 4);
+    client.send_line("{\"type\":\"stats\"}").unwrap();
+    let stats_line = client.read_line().unwrap().unwrap();
+    let stats = Json::parse(&stats_line).unwrap();
+    let metrics = stats.get("metrics").expect("stats.metrics object");
+    assert_eq!(
+        metrics
+            .get("counters")
+            .and_then(|c| c.get("server.points_completed"))
+            .and_then(Json::as_usize),
+        Some(4),
+        "{stats_line}"
+    );
+    assert!(stats.get("jobs").is_some(), "{stats_line}");
+
+    // `shutdown` answers `bye` and stops the accept loop.
+    client.request_shutdown().unwrap();
+    server.shutdown();
 }
 
 #[test]

@@ -21,7 +21,7 @@ use svard_cpusim::SimpleCore;
 use svard_defenses::provider::SharedThresholdProvider;
 use svard_defenses::DefenseKind;
 use svard_memsim::{CompletedRequest, MemStats, MemorySystem, MitigationHook, NoMitigation};
-use svard_obs::{MetricsSnapshot, NoopSink, ObsSink, PhaseProfile, Recorder, WallTimer};
+use svard_obs::{MetricsSnapshot, NoopSink, ObsSink, PhaseProfile, Profiler, Recorder};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -254,6 +254,7 @@ pub struct EvaluationHarness {
     threads: usize,
     mode: SimMode,
     prep_profile: Vec<PhaseProfile>,
+    profiler: Profiler,
 }
 
 impl EvaluationHarness {
@@ -275,6 +276,24 @@ impl EvaluationHarness {
         mixes: Vec<WorkloadMix>,
         threads: usize,
         mode: SimMode,
+    ) -> Self {
+        Self::with_threads_mode_profiler(config, mixes, threads, mode, Profiler::disabled())
+    }
+
+    /// [`with_threads_and_mode`](Self::with_threads_and_mode) with a
+    /// wall-clock span [`Profiler`]: the construction phases and every worker
+    /// task record spans (`harness.alone_runs`, `harness.alone_run`,
+    /// `harness.baseline_runs`, `harness.baseline_run`, `harness.sweep`,
+    /// `harness.sim_task`) into it, and the aggregate [`PhaseProfile`]s are
+    /// derived from the same timing source. Spans never feed back into
+    /// simulation state, so every result is bit-identical whether the
+    /// profiler is enabled or disabled.
+    pub fn with_threads_mode_profiler(
+        config: SystemConfig,
+        mixes: Vec<WorkloadMix>,
+        threads: usize,
+        mode: SimMode,
+        profiler: Profiler,
     ) -> Self {
         // Alone runs: the alone IPC depends only on the workload spec (the run is
         // single-core with a fixed seed), so simulate each distinct spec once and
@@ -302,21 +321,30 @@ impl EvaluationHarness {
                     })
             })
             .collect();
-        // lint: allow(determinism) -- phase profiling measures the harness, never simulation state
-        let alone_wall = WallTimer::start();
-        let timed_alone = parallel::par_map(&unique_specs, threads, |_, &spec| {
+        // lint: allow(determinism) -- span profiling measures the harness, never simulation state
+        let alone_start = profiler.now_us();
+        let timed_alone = parallel::par_map(&unique_specs, threads, |i, &spec| {
             // lint: allow(determinism) -- per-task busy time never feeds back into results
-            let task = WallTimer::start();
-            (
-                run_alone_with_mode(spec, &config, mode),
-                task.elapsed_seconds(),
-            )
+            let task_start = profiler.now_us();
+            let ipc = run_alone_with_mode(spec, &config, mode);
+            // lint: allow(determinism) -- per-task busy time never feeds back into results
+            let task_us = profiler.now_us().saturating_sub(task_start);
+            profiler.record("harness.alone_run", task_start, task_us, i as u64);
+            (ipc, task_us)
         });
+        // lint: allow(determinism) -- span profiling measures the harness, never simulation state
+        let alone_us = profiler.now_us().saturating_sub(alone_start);
+        profiler.record(
+            "harness.alone_runs",
+            alone_start,
+            alone_us,
+            unique_specs.len() as u64,
+        );
         let alone_profile = PhaseProfile {
             phase: "alone_runs",
-            wall_seconds: alone_wall.elapsed_seconds(),
+            wall_seconds: us_to_seconds(alone_us),
             tasks: unique_specs.len(),
-            busy_seconds: timed_alone.iter().map(|(_, s)| s).sum(),
+            busy_seconds: timed_alone.iter().map(|&(_, us)| us_to_seconds(us)).sum(),
             threads,
         };
         let unique_ipc: Vec<f64> = timed_alone.into_iter().map(|(ipc, _)| ipc).collect();
@@ -327,23 +355,34 @@ impl EvaluationHarness {
             }
         }
         // Baseline (no defense) runs: one task per mix.
-        // lint: allow(determinism) -- phase profiling measures the harness, never simulation state
-        let baseline_wall = WallTimer::start();
+        // lint: allow(determinism) -- span profiling measures the harness, never simulation state
+        let baseline_start = profiler.now_us();
         let timed_baseline = parallel::par_map(&mixes, threads, |m, mix| {
             // lint: allow(determinism) -- per-task busy time never feeds back into results
-            let task = WallTimer::start();
+            let task_start = profiler.now_us();
             let run = run_mix_with_mode(mix, &config, Box::new(NoMitigation), mode);
             let alone = alone_ipc.get(m).map_or(&[] as &[f64], Vec::as_slice);
-            (
-                SystemMetrics::compute(alone, &run.per_core_ipc),
-                task.elapsed_seconds(),
-            )
+            // lint: allow(determinism) -- per-task busy time never feeds back into results
+            let task_us = profiler.now_us().saturating_sub(task_start);
+            profiler.record("harness.baseline_run", task_start, task_us, m as u64);
+            (SystemMetrics::compute(alone, &run.per_core_ipc), task_us)
         });
+        // lint: allow(determinism) -- span profiling measures the harness, never simulation state
+        let baseline_us = profiler.now_us().saturating_sub(baseline_start);
+        profiler.record(
+            "harness.baseline_runs",
+            baseline_start,
+            baseline_us,
+            mixes.len() as u64,
+        );
         let baseline_profile = PhaseProfile {
             phase: "baseline_runs",
-            wall_seconds: baseline_wall.elapsed_seconds(),
+            wall_seconds: us_to_seconds(baseline_us),
             tasks: mixes.len(),
-            busy_seconds: timed_baseline.iter().map(|(_, s)| s).sum(),
+            busy_seconds: timed_baseline
+                .iter()
+                .map(|&(_, us)| us_to_seconds(us))
+                .sum(),
             threads,
         };
         let baseline: Vec<SystemMetrics> = timed_baseline.into_iter().map(|(b, _)| b).collect();
@@ -355,6 +394,7 @@ impl EvaluationHarness {
             threads,
             mode,
             prep_profile: vec![alone_profile, baseline_profile],
+            profiler,
         }
     }
 
@@ -373,6 +413,13 @@ impl EvaluationHarness {
     /// The system configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// The wall-clock span profiler this harness records into (disabled by
+    /// default; see
+    /// [`with_threads_mode_profiler`](Self::with_threads_mode_profiler)).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
     }
 
     /// Evaluate one defense under one threshold provider, returning metrics
@@ -452,20 +499,28 @@ impl EvaluationHarness {
         &self,
         points: &[SweepPoint],
     ) -> (Vec<EvaluationPoint>, PhaseProfile) {
-        // lint: allow(determinism) -- phase profiling measures the harness, never simulation state
-        let wall = WallTimer::start();
+        // lint: allow(determinism) -- span profiling measures the harness, never simulation state
+        let sweep_start = self.profiler.now_us();
         let tasks = self.tasks(points);
         let timed = parallel::par_map(&tasks, self.threads, |_, &(p, m)| {
             // lint: allow(determinism) -- per-task busy time never feeds back into results
-            let task = WallTimer::start();
+            let task_start = self.profiler.now_us();
             let (norm, _, _) = self.simulate_task(points, p, m, NoopSink);
-            (norm, task.elapsed_seconds())
+            // lint: allow(determinism) -- per-task busy time never feeds back into results
+            let task_us = self.profiler.now_us().saturating_sub(task_start);
+            self.profiler
+                .record("harness.sim_task", task_start, task_us, task_arg(p, m));
+            (norm, task_us)
         });
+        // lint: allow(determinism) -- span profiling measures the harness, never simulation state
+        let sweep_us = self.profiler.now_us().saturating_sub(sweep_start);
+        self.profiler
+            .record("harness.sweep", sweep_start, sweep_us, tasks.len() as u64);
         let profile = PhaseProfile {
             phase: "sweep",
-            wall_seconds: wall.elapsed_seconds(),
+            wall_seconds: us_to_seconds(sweep_us),
             tasks: tasks.len(),
-            busy_seconds: timed.iter().map(|(_, s)| s).sum(),
+            busy_seconds: timed.iter().map(|&(_, us)| us_to_seconds(us)).sum(),
             threads: self.threads,
         };
         let normalized: Vec<SystemMetrics> = timed.iter().map(|(n, _)| *n).collect();
@@ -538,7 +593,13 @@ impl EvaluationHarness {
         });
         let cancel = AtomicBool::new(false);
         parallel::par_for_each(&tasks, self.threads, &cancel, |t, &(p, m)| {
+            // lint: allow(determinism) -- per-task busy time never feeds back into results
+            let task_start = self.profiler.now_us();
             let (norm, metrics, _) = self.simulate_task(points, p, m, NoopSink);
+            // lint: allow(determinism) -- per-task busy time never feeds back into results
+            let task_us = self.profiler.now_us().saturating_sub(task_start);
+            self.profiler
+                .record("harness.sim_task", task_start, task_us, task_arg(p, m));
             let (Some(point), Some(&Some(si))) = (points.get(p), sel_pos.get(p)) else {
                 return;
             };
@@ -673,6 +734,17 @@ const ZERO_METRICS: SystemMetrics = SystemMetrics {
     harmonic_speedup: 0.0,
     max_slowdown: 0.0,
 };
+
+/// Microseconds to seconds, for [`PhaseProfile`] output.
+fn us_to_seconds(us: u64) -> f64 {
+    us as f64 / 1e6
+}
+
+/// Span argument encoding one `(point, mix)` task: point index in the high
+/// 32 bits, mix index in the low 32.
+fn task_arg(p: usize, m: usize) -> u64 {
+    ((p as u64) << 32) | (m as u64 & 0xffff_ffff)
+}
 
 #[cfg(test)]
 mod tests {

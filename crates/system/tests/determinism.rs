@@ -107,6 +107,67 @@ fn traced_sweep_is_byte_identical_across_runs_threads_and_modes() {
     assert_eq!(trace, t, "per-cycle: trace diverged");
 }
 
+/// Wall-clock span recording lives outside the simulated clock domain, so an
+/// instrumented harness (spans kept in a live `Profiler`) must produce the
+/// same results and the same canonical trace JSONL, byte for byte, as one
+/// with span storage fully disabled.
+#[test]
+fn span_instrumentation_never_perturbs_results_or_the_canonical_trace() {
+    use svard_obs::Profiler;
+
+    let config = small_config();
+    let mixes = WorkloadMix::generate(2, config.cores, 83);
+    let points: Vec<SweepPoint> = DefenseKind::ALL
+        .iter()
+        .map(|&defense| SweepPoint {
+            defense,
+            provider: Arc::new(UniformThreshold::new(48)) as SharedThresholdProvider,
+            hc_first: 48,
+        })
+        .collect();
+
+    let dark = EvaluationHarness::with_threads_mode_profiler(
+        config.clone(),
+        mixes.clone(),
+        2,
+        SimMode::FastForward,
+        Profiler::disabled(),
+    );
+    let instrumented = EvaluationHarness::with_threads_mode_profiler(
+        config,
+        mixes,
+        2,
+        SimMode::FastForward,
+        Profiler::new(1024),
+    );
+
+    let (dark_results, dark_trace) = dark.evaluate_all_traced(&points);
+    let (inst_results, inst_trace) = instrumented.evaluate_all_traced(&points);
+    assert_eq!(dark_results, inst_results, "results diverged under spans");
+    assert_eq!(
+        dark_trace, inst_trace,
+        "canonical trace JSONL is not byte-identical under span instrumentation"
+    );
+
+    // And the instrumented harness really did record spans — the guarantee
+    // above is not vacuous. Construction records per-task prep spans; the
+    // profiled sweep path records one `harness.sim_task` per (point, mix)
+    // and yields the same results again.
+    let (profiled_results, _) = instrumented.evaluate_all_profiled(&points);
+    assert_eq!(dark_results, profiled_results, "profiled sweep diverged");
+    let spans = instrumented.profiler().snapshot_spans();
+    for name in [
+        "harness.alone_run",
+        "harness.baseline_run",
+        "harness.sim_task",
+    ] {
+        assert!(
+            spans.iter().any(|s| s.name == name),
+            "no {name} spans recorded"
+        );
+    }
+}
+
 /// A fresh `WorkloadMix` from the same seed is identical — the workload
 /// generator itself is part of the deterministic contract.
 #[test]
