@@ -149,7 +149,9 @@ impl ModuleCharacterization {
 impl TestInfrastructure {
     /// Algorithm 1's `measure_BER`: initialize the victim with the pattern's victim
     /// byte and the aggressors with its aggressor byte, hammer double-sided, read the
-    /// victim back and return the fraction of bits that flipped.
+    /// victim back and return the fraction of bits that flipped. An out-of-range
+    /// bank/row request measures zero BER instead of aborting the whole
+    /// characterization run.
     pub fn measure_ber(
         &mut self,
         bank: usize,
@@ -160,21 +162,29 @@ impl TestInfrastructure {
     ) -> f64 {
         let rows = self.chip().rows_per_bank();
         let chip = self.chip_mut();
-        chip.fill_row(bank, victim, pattern.victim_byte())
-            .expect("victim row in range");
+        if chip.fill_row(bank, victim, pattern.victim_byte()).is_err() {
+            return 0.0;
+        }
         // Initialize both logical aggressor rows (the physically adjacent rows, which
         // the harness knows after adjacency reverse engineering).
         for aggressor in [victim.wrapping_sub(1), victim + 1] {
-            if aggressor < rows {
-                chip.fill_row(bank, aggressor, pattern.aggressor_byte())
-                    .expect("aggressor row in range");
+            if aggressor < rows
+                && chip
+                    .fill_row(bank, aggressor, pattern.aggressor_byte())
+                    .is_err()
+            {
+                return 0.0;
             }
         }
-        chip.hammer_double_sided(bank, victim, hammer_count, t_agg_on_ns)
-            .expect("hammer in range");
+        if chip
+            .hammer_double_sided(bank, victim, hammer_count, t_agg_on_ns)
+            .is_err()
+        {
+            return 0.0;
+        }
         let flipped = chip
             .count_bitflips(bank, victim, pattern.victim_byte())
-            .expect("victim readable");
+            .unwrap_or(0);
         flipped as f64 / (chip.config().bits_per_row() as f64)
     }
 
@@ -187,7 +197,11 @@ impl TestInfrastructure {
         config: &CharacterizationConfig,
     ) -> RowCharacterization {
         // Worst-case data pattern search at the highest hammer count.
-        let mut wcdp = config.data_patterns[0];
+        let mut wcdp = config
+            .data_patterns
+            .first()
+            .copied()
+            .unwrap_or(DataPattern::RowStripe);
         let mut ber_at_max = -1.0;
         for &pattern in &config.data_patterns {
             let mut worst_iteration = 0.0f64;

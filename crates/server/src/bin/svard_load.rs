@@ -5,23 +5,36 @@
 //!            [--defenses PARA] [--providers none,S0] [--hc-values 64]
 //!            [--mixes 1] [--cores 2] [--instructions 2000] [--rows 256]
 //!            [--seed 42] [--bins 8] [--prefix load] [--csv PATH] [--check]
-//!            [--metrics-out PATH] [--shutdown]
+//!            [--retries N] [--retry-base-ms MS] [--retry-seed SEED]
+//!            [--chaos-check] [--metrics-out PATH] [--shutdown]
 //! ```
 //!
 //! Sweeps connection counts (and harness worker counts) against a running
 //! server, driving `--jobs` jobs per connection, and emits a throughput /
 //! latency CSV to stdout (and `--csv PATH` if given), including
 //! p50/p95/p99 per-point latency columns computed from client-side log2
-//! histograms. With `--check`, also submits the same grid as two fresh
-//! jobs plus one resumed job and exits 1 unless all point lines are
-//! bit-identical (after job-id normalization). `--metrics-out` scrapes the
-//! server's `metrics` exposition to a file after the sweep; `--shutdown`
-//! asks the server to exit once everything else is done.
+//! histograms. `--retries N` makes every job self-healing: seeded
+//! exponential-backoff retry with reconnect, resuming over the server's
+//! journal replay — the load generator then survives a chaos-enabled or
+//! restarting server. With `--check`, also submits the same grid as two
+//! fresh jobs plus one resumed job and exits 1 unless all point lines are
+//! bit-identical (after job-id normalization). `--chaos-check` is the
+//! chaos-soak assertion: it computes the fault-free reference **in
+//! process** (no server involved), then drives one retrying job against the
+//! (presumably chaos-injected) server and exits 1 unless the converged
+//! point lines and summary metrics are byte-identical to the reference.
+//! `--metrics-out` scrapes the server's `metrics` exposition to a file
+//! after the sweep; `--shutdown` asks the server to exit once everything
+//! else is done.
 
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use svard_server::bridge;
 use svard_server::cli::{arg_flag, arg_list, arg_string, arg_u64, arg_usize};
 use svard_server::json::Json;
-use svard_server::protocol::parse_defense;
-use svard_server::{run_load, Client, GridSpec};
+use svard_server::protocol::{parse_defense, point_line};
+use svard_server::{run_job_with_retry, run_load_retrying, Client, GridSpec, RetryPolicy};
 
 fn grid_from_args(workers: usize) -> Result<GridSpec, String> {
     let defenses = arg_list("defenses", &["PARA"])
@@ -89,6 +102,58 @@ fn check(addr: &str, grid: &GridSpec, prefix: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Chaos-soak convergence assertion: compute the fault-free reference **in
+/// process** (no server, no journal), then drive one self-healing job against
+/// the live — presumably chaos-injected — server. The converged point lines
+/// and the summary's merged metrics must be byte-identical to the reference.
+fn chaos_check(
+    addr: &str,
+    grid: &GridSpec,
+    prefix: &str,
+    policy: RetryPolicy,
+) -> Result<(usize, usize), String> {
+    let (harness, points) = bridge::build_harness(grid);
+    let collected: Mutex<BTreeMap<usize, String>> = Mutex::new(BTreeMap::new());
+    let _ = harness.evaluate_all_streamed(&points, |i, point, metrics| {
+        let mut map = match collected.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        map.insert(i, point_line("X", i, point, &metrics.to_json()));
+        true
+    });
+    let reference = match collected.into_inner() {
+        Ok(map) => map,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let reference_metrics = bridge::merge_point_metrics(&reference).render();
+    let reference_lines: Vec<String> = reference.into_values().collect();
+
+    let job_id = format!("{prefix}-chaos-check");
+    let report = run_job_with_retry(addr, &job_id, grid, &policy)?;
+    if report.outcome.point_lines.len() != reference_lines.len() {
+        return Err(format!(
+            "server streamed {} points, reference has {}",
+            report.outcome.point_lines.len(),
+            reference_lines.len()
+        ));
+    }
+    if sorted_points(&report.outcome.point_lines)? != sorted_points(&reference_lines)? {
+        return Err(
+            "served point lines diverge from the in-process fault-free reference".to_string(),
+        );
+    }
+    let summary = Json::parse(&report.outcome.summary_line)?;
+    let served_metrics = summary
+        .get("metrics")
+        .map(|m| m.render())
+        .ok_or("summary record without metrics object")?;
+    if served_metrics != reference_metrics {
+        return Err("summary metrics diverge from the fault-free reference".to_string());
+    }
+    Ok((report.attempts, report.reconnects))
+}
+
 fn main() {
     let addr = arg_string("addr").unwrap_or_else(|| "127.0.0.1:7979".to_string());
     let connections: Vec<usize> = arg_list("connections", &["1", "2"])
@@ -102,6 +167,13 @@ fn main() {
         .collect();
     let jobs = arg_usize("jobs", 1);
     let prefix = arg_string("prefix").unwrap_or_else(|| "load".to_string());
+    let retries = arg_usize("retries", 0);
+    let retry = (retries > 0).then(|| RetryPolicy {
+        attempts: retries,
+        base_delay_ms: arg_u64("retry-base-ms", 50),
+        seed: arg_u64("retry-seed", 42),
+        ..RetryPolicy::default()
+    });
 
     let mut csv = String::from(
         "connections,workers,jobs,points,wall_seconds,points_per_second,mean_point_latency_s,p50_point_latency_s,p95_point_latency_s,p99_point_latency_s\n",
@@ -115,7 +187,14 @@ fn main() {
             }
         };
         for &conns in &connections {
-            match run_load(&addr, conns, jobs, &grid, &format!("{prefix}-w{workers}")) {
+            match run_load_retrying(
+                &addr,
+                conns,
+                jobs,
+                &grid,
+                &format!("{prefix}-w{workers}"),
+                retry.as_ref(),
+            ) {
                 Ok(point) => {
                     eprintln!(
                         "# {} connections x {} jobs ({} workers): {} points in {:.3}s ({:.2}/s)",
@@ -166,6 +245,33 @@ fn main() {
             Ok(()) => eprintln!("# check passed: fresh and resumed jobs are bit-identical"),
             Err(e) => {
                 eprintln!("svard-load: check failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if arg_flag("chaos-check") {
+        let grid = match grid_from_args(workers_list.first().copied().unwrap_or(1)) {
+            Ok(grid) => grid,
+            Err(e) => {
+                eprintln!("svard-load: {e}");
+                std::process::exit(2);
+            }
+        };
+        // Chaos soaks need headroom: default to a generous retry budget when
+        // the user didn't size one with --retries.
+        let policy = retry.unwrap_or(RetryPolicy {
+            attempts: 40,
+            base_delay_ms: arg_u64("retry-base-ms", 50),
+            seed: arg_u64("retry-seed", 42),
+            ..RetryPolicy::default()
+        });
+        match chaos_check(&addr, &grid, &prefix, policy) {
+            Ok((attempts, reconnects)) => eprintln!(
+                "# chaos-check passed: converged byte-identically to the fault-free \
+                 reference in {attempts} attempt(s), {reconnects} reconnect(s)"
+            ),
+            Err(e) => {
+                eprintln!("svard-load: chaos-check failed: {e}");
                 std::process::exit(1);
             }
         }

@@ -25,9 +25,12 @@ use svard_system::parallel::default_threads;
 use svard_system::{EvaluationHarness, SimMode, SweepPoint, SystemConfig};
 use svard_vulnerability::{ModuleSpec, ProfileGenerator};
 
+use crate::chaos::{FaultPlan, FaultSite};
 use crate::jobstore::{JobJournal, JobStore};
 use crate::json::{merge_metric_objects, Json};
-use crate::protocol::{accepted_line, point_line, summary_line, GridSpec, PROVIDER_NONE};
+use crate::protocol::{
+    accepted_line, cancelled_line, point_line, summary_line, GridSpec, PROVIDER_NONE,
+};
 use crate::server::ServerStats;
 
 /// The watchdog stays quiet until the execute-time histogram has at least
@@ -99,6 +102,36 @@ struct PointTiming {
     exec_us: u64,
     /// Journal append + fsync time.
     fsync_us: u64,
+}
+
+/// Execution controls for one job run: the server-wide stop flag, the
+/// per-job cancel flag, and the optional deterministic chaos plan.
+pub struct JobCtrl<'a> {
+    /// Server-wide stop flag (raised by `shutdown`).
+    pub stop: &'a AtomicBool,
+    /// Per-job cancel flag (raised by a `cancel` request).
+    pub cancel: &'a AtomicBool,
+    /// Deterministic fault plan; `None` runs fault-free.
+    pub chaos: Option<&'a FaultPlan>,
+}
+
+impl<'a> JobCtrl<'a> {
+    /// Controls for a plain, fault-free run driven only by `stop`.
+    pub fn plain(stop: &'a AtomicBool, cancel: &'a AtomicBool) -> JobCtrl<'a> {
+        JobCtrl {
+            stop,
+            cancel,
+            chaos: None,
+        }
+    }
+
+    fn halted(&self) -> bool {
+        self.stop.load(Ordering::Acquire) || self.cancel.load(Ordering::Acquire)
+    }
+
+    fn fire(&self, site: FaultSite) -> bool {
+        self.chaos.map(|plan| plan.fire(site)).unwrap_or(false)
+    }
 }
 
 /// What happened to a job run.
@@ -211,15 +244,17 @@ fn send(out: &Sender<String>, line: String) -> bool {
 /// Run one sweep job end to end, streaming response lines into `out`.
 ///
 /// Returns an error only for setup failures (journal I/O, grid mismatch) —
-/// the caller turns that into an `error` record. A vanished client or a
-/// raised `stop` flag is not an error: the run cancels, the journal keeps
-/// whatever finished, and the report says so.
+/// the caller turns that into an `error` record. A vanished client, a
+/// raised `stop` flag or a `cancel` request is not an error: the run stops,
+/// the journal keeps whatever finished, and the report says so. A cancel
+/// additionally journals a `cancelled` marker and streams the same record,
+/// so resubmitting later resumes cleanly from the completed points.
 pub fn run_job(
     job_id: &str,
     grid: &GridSpec,
     out: &Sender<String>,
     store: &JobStore,
-    stop: &AtomicBool,
+    ctrl: &JobCtrl<'_>,
     obs: &JobObs<'_>,
 ) -> Result<JobReport, String> {
     let journal = store.open_job(job_id, grid)?;
@@ -233,6 +268,11 @@ pub fn run_job(
         cancelled,
     };
     obs.stats.set_progress(job_id, resumed, n);
+    if resumed > 0 {
+        // A resubmit after a fault/cancel landed here: journal replay is the
+        // server half of the client's reconnect-and-resume loop.
+        obs.stats.count("server.retry.resubmits");
+    }
 
     if !send(out, accepted_line(job_id, n, resumed)) {
         return Ok(report(resumed, true));
@@ -263,10 +303,18 @@ pub fn run_job(
             last_us: obs.profiler.now_us(),
         });
         let _ = harness.evaluate_masked_streamed(&points, &mask, |i, point, metrics| {
-            if stop.load(Ordering::Acquire) {
+            if ctrl.halted() {
                 return false;
             }
             let line = point_line(job_id, i, point, &metrics.to_json());
+            if ctrl.fire(FaultSite::ExecPanic) {
+                obs.stats.count("server.fault.exec_panics");
+                // The panic unwinds through the harness scope into the
+                // executor thread, whose catch_unwind fails only this job.
+                // The point was not journaled, so a resubmit re-runs it.
+                // lint: allow(panic) -- deliberate chaos injection site
+                panic!("chaos: injected executor panic at point {i}");
+            }
             let mut sink = match sink.lock() {
                 Ok(guard) => guard,
                 // lint: allow(panic) -- poisoned only if a worker panicked; propagating is correct
@@ -281,6 +329,24 @@ pub fn run_job(
             let exec_start_us = done_us.saturating_sub(exec_us);
             obs.profiler
                 .record("server.execute", exec_start_us, exec_us, i as u64);
+            if ctrl.fire(FaultSite::FsyncFail) {
+                // Nothing reaches the file: the point is lost and the run
+                // fails as if the fsync errored. Resume re-simulates it.
+                obs.stats.count("server.fault.fsync_fails");
+                sink.failed = true;
+                return false;
+            }
+            if let Some(plan) = ctrl.chaos.filter(|p| p.fire(FaultSite::TornWrite)) {
+                // Half a line lands on disk with no newline — exactly what a
+                // kill mid-write leaves. The next open_job truncates it away.
+                obs.stats.count("server.fault.torn_writes");
+                let fired = plan.fired(FaultSite::TornWrite);
+                let keep = plan.torn_prefix_len(fired, line.len());
+                sink.journal
+                    .inject_torn_write(line.as_bytes().get(..keep).unwrap_or(line.as_bytes()));
+                sink.failed = true;
+                return false;
+            }
             if sink.journal.record_point(i, &line).is_err() {
                 sink.failed = true;
                 return false;
@@ -314,11 +380,23 @@ pub fn run_job(
             );
             true
         });
-        let sink = match sink.into_inner() {
+        let mut sink = match sink.into_inner() {
             Ok(inner) => inner,
             // lint: allow(panic) -- poisoned only if a worker panicked; propagating is correct
             Err(poisoned) => poisoned.into_inner(),
         };
+        if ctrl.cancel.load(Ordering::Acquire) {
+            // First-class cancel: journal a marker documenting where the run
+            // stopped (skipped on replay) and close the stream with a
+            // `cancelled` record instead of a summary.
+            let completed = sink.journal.completed.range(..n).count();
+            let marker = cancelled_line(job_id, n, completed);
+            if sink.journal.record_marker(&marker).is_ok() {
+                obs.stats.count("server.cancel.markers");
+            }
+            let _ = send(&sink.out, marker);
+            return Ok(report(completed, true));
+        }
         let profile = PhaseProfile {
             phase: "job",
             wall_seconds: obs.profiler.now_us().saturating_sub(job_start_us) as f64 / 1e6,
@@ -333,7 +411,7 @@ pub fn run_job(
             },
         };
         let completed = sink.journal.completed.range(..n).count();
-        if sink.failed || stop.load(Ordering::Acquire) || completed < n {
+        if sink.failed || ctrl.stop.load(Ordering::Acquire) || completed < n {
             return Ok(report(completed, true));
         }
         (Some((harness, profile)), sink)
@@ -401,13 +479,14 @@ mod tests {
         let grid = tiny_grid();
         let (tx, rx) = channel();
         let stop = AtomicBool::new(false);
+        let cancel = AtomicBool::new(false);
         let stats = ServerStats::default();
         let report = run_job(
             "smoke",
             &grid,
             &tx,
             &store,
-            &stop,
+            &JobCtrl::plain(&stop, &cancel),
             &JobObs::disabled(&stats),
         )
         .unwrap();
@@ -433,13 +512,15 @@ mod tests {
         let store = temp_store("replay");
         let grid = tiny_grid();
         let stop = AtomicBool::new(false);
+        let cancel = AtomicBool::new(false);
+        let ctrl = JobCtrl::plain(&stop, &cancel);
         let stats = ServerStats::default();
         let obs = JobObs::disabled(&stats);
         let (tx, rx) = channel();
-        run_job("again", &grid, &tx, &store, &stop, &obs).unwrap();
+        run_job("again", &grid, &tx, &store, &ctrl, &obs).unwrap();
         let first: Vec<String> = rx.try_iter().collect();
         let (tx, rx) = channel();
-        let report = run_job("again", &grid, &tx, &store, &stop, &obs).unwrap();
+        let report = run_job("again", &grid, &tx, &store, &ctrl, &obs).unwrap();
         assert_eq!(report.resumed, 2);
         assert!(!report.cancelled);
         let second: Vec<String> = rx.try_iter().collect();
@@ -455,13 +536,14 @@ mod tests {
         let grid = tiny_grid();
         let (tx, _rx) = channel();
         let stop = AtomicBool::new(true);
+        let cancel = AtomicBool::new(false);
         let stats = ServerStats::default();
         let report = run_job(
             "halted",
             &grid,
             &tx,
             &store,
-            &stop,
+            &JobCtrl::plain(&stop, &cancel),
             &JobObs::disabled(&stats),
         )
         .unwrap();
@@ -470,18 +552,128 @@ mod tests {
     }
 
     #[test]
+    fn a_cancel_journals_a_marker_and_streams_a_cancelled_record() {
+        let store = temp_store("cancel");
+        let grid = tiny_grid();
+        let stop = AtomicBool::new(false);
+        let cancel = AtomicBool::new(true);
+        let stats = ServerStats::default();
+        let (tx, rx) = channel();
+        let report = run_job(
+            "cxl",
+            &grid,
+            &tx,
+            &store,
+            &JobCtrl::plain(&stop, &cancel),
+            &JobObs::disabled(&stats),
+        )
+        .unwrap();
+        assert!(report.cancelled);
+        assert_eq!(report.completed, 0);
+        let lines: Vec<String> = rx.try_iter().collect();
+        assert!(lines
+            .last()
+            .is_some_and(|l| l.contains("\"type\":\"cancelled\"")));
+        assert_eq!(stats.snapshot().counter("server.cancel.markers"), 1);
+        let journal_text = std::fs::read_to_string(store.path_for("cxl")).unwrap();
+        assert!(journal_text.contains("\"type\":\"cancelled\""));
+        // The marker does not block a later resubmit from finishing the job.
+        cancel.store(false, Ordering::Release);
+        let (tx, rx) = channel();
+        let report = run_job(
+            "cxl",
+            &grid,
+            &tx,
+            &store,
+            &JobCtrl::plain(&stop, &cancel),
+            &JobObs::disabled(&stats),
+        )
+        .unwrap();
+        assert_eq!(report.completed, 2);
+        assert!(!report.cancelled);
+        let lines: Vec<String> = rx.try_iter().collect();
+        assert!(lines
+            .last()
+            .is_some_and(|l| l.contains("\"type\":\"summary\"")));
+    }
+
+    #[test]
+    fn chaos_fsync_and_torn_faults_fail_the_run_but_resume_recovers() {
+        use crate::chaos::{ChaosRates, SiteRate};
+        let store = temp_store("chaos-journal");
+        let grid = tiny_grid();
+        let stop = AtomicBool::new(false);
+        let cancel = AtomicBool::new(false);
+        let stats = ServerStats::default();
+        let obs = JobObs::disabled(&stats);
+        // First point tears its journal write, every later write is clean.
+        let plan = FaultPlan::new(
+            5,
+            ChaosRates {
+                torn: SiteRate::capped(1.0, 1),
+                ..ChaosRates::QUIET
+            },
+        );
+        let ctrl = JobCtrl {
+            stop: &stop,
+            cancel: &cancel,
+            chaos: Some(&plan),
+        };
+        let (tx, _rx) = channel();
+        let report = run_job("healme", &grid, &tx, &store, &ctrl, &obs).unwrap();
+        assert!(report.cancelled, "torn write fails the run");
+        assert_eq!(stats.snapshot().counter("server.fault.torn_writes"), 1);
+        // Resubmit fault-free: the torn tail is repaired and the job
+        // finishes, byte-identical to a never-faulted run.
+        let (tx, rx) = channel();
+        let healed = run_job(
+            "healme",
+            &grid,
+            &tx,
+            &store,
+            &JobCtrl::plain(&stop, &cancel),
+            &obs,
+        )
+        .unwrap();
+        assert_eq!(healed.completed, 2);
+        let healed_lines: Vec<String> = rx.try_iter().collect();
+        let clean_store = temp_store("chaos-journal-ref");
+        let (tx, rx) = channel();
+        run_job(
+            "healme",
+            &grid,
+            &tx,
+            &clean_store,
+            &JobCtrl::plain(&stop, &cancel),
+            &obs,
+        )
+        .unwrap();
+        let clean_lines: Vec<String> = rx.try_iter().collect();
+        let points = |lines: &[String]| -> Vec<String> {
+            lines
+                .iter()
+                .filter(|l| l.contains("\"type\":\"point\""))
+                .cloned()
+                .collect()
+        };
+        assert_eq!(points(&healed_lines), points(&clean_lines));
+    }
+
+    #[test]
     fn an_instrumented_run_fills_histograms_progress_and_spans() {
         let store = temp_store("instrumented");
         let grid = tiny_grid();
         let (tx, rx) = channel();
         let stop = AtomicBool::new(false);
+        let cancel = AtomicBool::new(false);
         let stats = ServerStats::default();
         let obs = JobObs {
             profiler: Profiler::new(256),
             stats: &stats,
             watchdog_multiple: 8,
         };
-        let report = run_job("spans", &grid, &tx, &store, &stop, &obs).unwrap();
+        let ctrl = JobCtrl::plain(&stop, &cancel);
+        let report = run_job("spans", &grid, &tx, &store, &ctrl, &obs).unwrap();
         assert_eq!(report.completed, 2);
         drop(rx);
         let snap = stats.snapshot();

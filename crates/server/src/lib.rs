@@ -17,11 +17,12 @@
 //! |------------|---------------------------------------------------------|
 //! | [`json`]   | dependency-free JSON value, parser and renderer         |
 //! | [`protocol`] | wire records, grid validation, point expansion        |
-//! | [`jobstore`] | on-disk job journals (resume state)                   |
-//! | [`queue`]  | blocking delegation work queue between connections and executors |
+//! | [`jobstore`] | on-disk job journals (resume state, GC)               |
+//! | [`queue`]  | bounded delegation work queue between connections and executors |
 //! | [`bridge`] | grid → harness translation and streamed job execution   |
+//! | [`chaos`]  | seeded deterministic fault injection for chaos testing  |
 //! | [`server`] | TCP accept/connection/executor loops                    |
-//! | [`client`] | client connection, job driver and load generator        |
+//! | [`client`] | client connection, retrying job driver and load generator |
 //! | [`cli`]    | minimal `--flag value` argument helpers for the bins    |
 //!
 //! This crate is **non-sim**: it never runs inside the simulated clock
@@ -36,6 +37,7 @@
 #![deny(missing_docs)]
 
 pub mod bridge;
+pub mod chaos;
 pub mod cli;
 pub mod client;
 pub mod jobstore;
@@ -44,6 +46,10 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use client::{run_load, Client, JobOutcome, LoadPoint};
+pub use chaos::{ChaosRates, FaultPlan, FaultSite};
+pub use client::{
+    is_retryable, run_job_with_retry, run_load, run_load_retrying, Client, JobOutcome, LoadPoint,
+    RetryPolicy, RetryReport,
+};
 pub use protocol::GridSpec;
-pub use server::{serve, ServerConfig, ServerHandle, METRICS_EOF};
+pub use server::{serve, ChaosConfig, ServerConfig, ServerHandle, METRICS_EOF};

@@ -4,15 +4,22 @@
 //! Every record is one JSON object per line. Requests:
 //!
 //! * `{"type":"submit","job_id":"...","grid":{...}}` — run (or resume) a job.
+//! * `{"type":"cancel","job_id":"..."}` — stop a running job (answered with
+//!   a `cancel_ack` record; the submitting connection sees a `cancelled`
+//!   record and a later resubmit resumes from the journal).
 //! * `{"type":"ping"}` — liveness probe, answered with `{"type":"pong"}`.
 //! * `{"type":"stats"}` — server metrics snapshot.
 //!
 //! Responses to a submit: one `accepted` record, then one `point` record per
 //! completed sweep point in completion order (journaled points replay
-//! first), then one `summary` record. Any failure produces an `error`
-//! record. [`point_line`] is the single renderer for point records — the
-//! bridge, the journal replay and the tests all go through it, which is what
-//! makes "byte-identical across restart and worker count" checkable.
+//! first), then one `summary` record. A cancelled job ends with a
+//! `cancelled` record instead; a full queue answers a `busy` record. Any
+//! failure produces an `error` record — transient ones (executor panic,
+//! duplicate active job) carry `"retryable":true` so self-healing clients
+//! know a resubmit will resume from the journal. [`point_line`] is the
+//! single renderer for point records — the bridge, the journal replay and
+//! the tests all go through it, which is what makes "byte-identical across
+//! restart and worker count" checkable.
 
 use svard_defenses::DefenseKind;
 use svard_obs::PhaseProfile;
@@ -273,6 +280,45 @@ pub fn error_line(message: &str) -> String {
     let mut map = BTreeMap::new();
     map.insert("type".to_string(), Json::str("error"));
     map.insert("message".to_string(), Json::str(message));
+    Json::Obj(map).render()
+}
+
+/// Render a *retryable* `error` record: the job failed transiently (an
+/// injected or genuine executor panic, a duplicate active submit) and a
+/// resubmit will resume from the journal.
+pub fn error_line_retryable(message: &str) -> String {
+    let mut map = BTreeMap::new();
+    map.insert("type".to_string(), Json::str("error"));
+    map.insert("message".to_string(), Json::str(message));
+    map.insert("retryable".to_string(), Json::Bool(true));
+    Json::Obj(map).render()
+}
+
+/// Render the `busy` backpressure record: the work queue is full and the
+/// submit was not enqueued. Retryable by definition.
+pub fn busy_line(job_id: &str, depth: usize) -> String {
+    let mut map = base_record("busy", job_id);
+    map.insert("depth".to_string(), Json::uint(depth as u64));
+    map.insert("retryable".to_string(), Json::Bool(true));
+    Json::Obj(map).render()
+}
+
+/// Render the `cancelled` record that closes a cancelled job's response
+/// stream. The same line doubles as the journal's cancel marker, so a
+/// resumed journal shows where the cancel landed.
+pub fn cancelled_line(job_id: &str, points: usize, completed: usize) -> String {
+    let mut map = base_record("cancelled", job_id);
+    map.insert("points".to_string(), Json::uint(points as u64));
+    map.insert("completed".to_string(), Json::uint(completed as u64));
+    Json::Obj(map).render()
+}
+
+/// Render the `cancel_ack` record answering a `cancel` request. `active`
+/// says whether the job was actually running or queued when the cancel
+/// arrived.
+pub fn cancel_ack_line(job_id: &str, active: bool) -> String {
+    let mut map = base_record("cancel_ack", job_id);
+    map.insert("active".to_string(), Json::Bool(active));
     Json::Obj(map).render()
 }
 

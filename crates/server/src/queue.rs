@@ -4,10 +4,14 @@
 //! and runs them one at a time. The queue is a plain `Mutex<VecDeque>` +
 //! `Condvar` — jobs are coarse (seconds to minutes of simulation), so
 //! contention here is irrelevant and the standard library is all we need.
+//! The queue is *bounded*: a full queue answers [`PushOutcome::Busy`], which
+//! the connection turns into a `busy` backpressure record instead of letting
+//! memory grow without limit.
 
 use std::collections::VecDeque;
+use std::sync::atomic::AtomicBool;
 use std::sync::mpsc::Sender;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::protocol::GridSpec;
 
@@ -20,9 +24,23 @@ pub struct QueuedJob {
     /// Where to stream response lines; the connection thread drains the
     /// receiving end. Dropped senders mean the client went away.
     pub out: Sender<String>,
+    /// Per-job cancel flag, shared with the job table so a `cancel` request
+    /// can stop the run whether it is queued or already executing.
+    pub cancel: Arc<AtomicBool>,
     /// Enqueue timestamp in profiler microseconds; the executor turns it
     /// into the `server.queue_wait` span and histogram.
     pub enqueued_us: u64,
+}
+
+/// What happened to a [`JobQueue::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The job is queued and an executor will pick it up.
+    Queued,
+    /// The queue is at capacity; the job was not enqueued. Retry later.
+    Busy,
+    /// The queue has shut down; the job was dropped (closing its channel).
+    Shutdown,
 }
 
 struct Inner {
@@ -31,14 +49,29 @@ struct Inner {
     depth_peak: usize,
 }
 
-/// Blocking FIFO job queue.
+/// Blocking, bounded FIFO job queue.
 pub struct JobQueue {
     inner: Mutex<Inner>,
     ready: Condvar,
+    /// Maximum queued (not yet executing) jobs; 0 means unbounded.
+    capacity: usize,
 }
 
 impl Default for JobQueue {
     fn default() -> Self {
+        JobQueue::with_capacity(0)
+    }
+}
+
+impl JobQueue {
+    /// Create an empty, unbounded queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty queue holding at most `capacity` waiting jobs
+    /// (0 = unbounded).
+    pub fn with_capacity(capacity: usize) -> Self {
         JobQueue {
             inner: Mutex::new(Inner {
                 jobs: VecDeque::new(),
@@ -46,27 +79,24 @@ impl Default for JobQueue {
                 depth_peak: 0,
             }),
             ready: Condvar::new(),
+            capacity,
         }
     }
-}
 
-impl JobQueue {
-    /// Create an empty queue.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Enqueue a job. Returns `false` if the queue has been shut down (the
-    /// job is dropped, which closes its response channel).
-    pub fn push(&self, job: QueuedJob) -> bool {
+    /// Enqueue a job, reporting busy/shutdown instead of blocking or
+    /// growing past the capacity.
+    pub fn push(&self, job: QueuedJob) -> PushOutcome {
         let mut inner = self.lock();
         if inner.shutdown {
-            return false;
+            return PushOutcome::Shutdown;
+        }
+        if self.capacity > 0 && inner.jobs.len() >= self.capacity {
+            return PushOutcome::Busy;
         }
         inner.jobs.push_back(job);
         inner.depth_peak = inner.depth_peak.max(inner.jobs.len());
         self.ready.notify_one();
-        true
+        PushOutcome::Queued
     }
 
     /// Block until a job is available or the queue shuts down. `None` means
@@ -128,6 +158,7 @@ mod tests {
             job_id: id.to_string(),
             grid: GridSpec::default(),
             out: tx,
+            cancel: Arc::new(AtomicBool::new(false)),
             enqueued_us: 0,
         }
     }
@@ -135,14 +166,24 @@ mod tests {
     #[test]
     fn queue_is_fifo_and_tracks_peak_depth() {
         let q = JobQueue::new();
-        assert!(q.push(job("a")));
-        assert!(q.push(job("b")));
+        assert_eq!(q.push(job("a")), PushOutcome::Queued);
+        assert_eq!(q.push(job("b")), PushOutcome::Queued);
         assert_eq!(q.depth_peak(), 2);
         assert_eq!(q.depth(), 2);
         assert_eq!(q.pop().map(|j| j.job_id), Some("a".to_string()));
         assert_eq!(q.pop().map(|j| j.job_id), Some("b".to_string()));
         assert_eq!(q.depth(), 0);
         assert_eq!(q.depth_peak(), 2, "peak survives the drain");
+    }
+
+    #[test]
+    fn a_full_queue_answers_busy_until_drained() {
+        let q = JobQueue::with_capacity(1);
+        assert_eq!(q.push(job("a")), PushOutcome::Queued);
+        assert_eq!(q.push(job("b")), PushOutcome::Busy);
+        assert_eq!(q.depth(), 1, "busy jobs are not enqueued");
+        assert!(q.pop().is_some());
+        assert_eq!(q.push(job("b")), PushOutcome::Queued);
     }
 
     #[test]
@@ -156,6 +197,6 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.shutdown();
         assert_eq!(waiter.join().unwrap(), None);
-        assert!(!q.push(job("late")));
+        assert_eq!(q.push(job("late")), PushOutcome::Shutdown);
     }
 }

@@ -8,26 +8,36 @@
 //! through one [`JobQueue`] into a small executor pool, so the number of
 //! concurrently simulating jobs is bounded regardless of connection count.
 //!
+//! Fault tolerance: executors wrap job execution in `catch_unwind`, so a
+//! panicking point fails only its own job (with a retryable `error` record;
+//! the journal keeps what finished) while a supervisor respawns any worker
+//! thread that dies; the queue is bounded and answers `busy` backpressure;
+//! idle connections are reaped; and a seeded [`FaultPlan`] can inject
+//! deterministic faults at the connection-write and journal seams for chaos
+//! testing.
+//!
 //! This crate is non-sim: wall-clock I/O timeouts and `server.*` operational
 //! metrics below never touch the simulated clock domain.
 
 use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use svard_obs::{MetricsSnapshot, Profiler, SpanRecorder, DEFAULT_SPAN_CAPACITY};
 
-use crate::bridge::{self, JobObs};
+use crate::bridge::{self, JobCtrl, JobObs};
+use crate::chaos::{ChaosRates, FaultPlan, FaultSite};
 use crate::jobstore::{validate_job_id, JobStore};
 use crate::json::Json;
-use crate::protocol::{error_line, GridSpec};
-use crate::queue::{JobQueue, QueuedJob};
+use crate::protocol::{busy_line, cancel_ack_line, error_line, error_line_retryable, GridSpec};
+use crate::queue::{JobQueue, PushOutcome, QueuedJob};
 
 /// How long blocking reads and queue polls wait before re-checking the stop
 /// flag. Purely an operational liveness knob; never affects results.
@@ -35,6 +45,16 @@ const POLL: Duration = Duration::from_millis(50);
 
 /// Terminator line of the `metrics` text exposition stream.
 pub const METRICS_EOF: &str = "# EOF";
+
+/// Deterministic chaos configuration: a seed plus per-site injection rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// PRNG seed; the same seed and request interleaving replays the same
+    /// fault schedule.
+    pub seed: u64,
+    /// Per-site rates and budgets.
+    pub rates: ChaosRates,
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -51,6 +71,21 @@ pub struct ServerConfig {
     /// Executor watchdog: count and trace-flag points slower than this
     /// multiple of the running p99 point-execute time (0 disables).
     pub watchdog_multiple: u64,
+    /// Maximum jobs waiting in the work queue before submits are answered
+    /// with `busy` backpressure (0 = unbounded).
+    pub queue_depth: usize,
+    /// Reap connections idle (no request bytes) longer than this; zero
+    /// disables the reaper.
+    pub idle_timeout: Duration,
+    /// Socket write timeout for response lines; zero leaves the OS default.
+    pub write_timeout: Duration,
+    /// Deterministic fault injection; `None` runs fault-free.
+    pub chaos: Option<ChaosConfig>,
+    /// Prune finished-job journals older than this many seconds on startup
+    /// and after each summary (0 disables the age rule).
+    pub gc_age_secs: u64,
+    /// Keep at most this many finished-job journals (0 disables the cap).
+    pub gc_max: usize,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +96,64 @@ impl Default for ServerConfig {
             executors: 2,
             profile_spans: DEFAULT_SPAN_CAPACITY,
             watchdog_multiple: 8,
+            queue_depth: 64,
+            idle_timeout: Duration::from_secs(300),
+            write_timeout: Duration::from_secs(30),
+            chaos: None,
+            gc_age_secs: 0,
+            gc_max: 0,
+        }
+    }
+}
+
+/// Active jobs (queued or executing) keyed by job id, sharing each job's
+/// cancel flag with the `cancel` request handler. Doubles as the duplicate
+/// guard: two live submits of the same job id would race on one journal, so
+/// the second is rejected (retryably — the first may be a dead connection
+/// the server has not noticed yet).
+#[derive(Default)]
+pub(crate) struct JobTable {
+    jobs: Mutex<BTreeMap<String, Arc<AtomicBool>>>,
+}
+
+impl JobTable {
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Arc<AtomicBool>>> {
+        match self.jobs.lock() {
+            Ok(guard) => guard,
+            // lint: allow(panic) -- poisoned only if a holder panicked; propagating is correct
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Register a job as active. `None` means the id is already active.
+    fn begin(&self, job_id: &str) -> Option<Arc<AtomicBool>> {
+        let mut jobs = self.lock();
+        if jobs.contains_key(job_id) {
+            return None;
+        }
+        let flag = Arc::new(AtomicBool::new(false));
+        jobs.insert(job_id.to_string(), Arc::clone(&flag));
+        Some(flag)
+    }
+
+    /// Raise the cancel flag of an active job. Returns whether the job was
+    /// active.
+    fn cancel(&self, job_id: &str) -> bool {
+        match self.lock().get(job_id) {
+            Some(flag) => {
+                flag.store(true, Ordering::Release);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove a finished job — only if the entry still belongs to this run
+    /// (guards against deleting a newer resubmit's entry).
+    fn finish(&self, job_id: &str, flag: &Arc<AtomicBool>) {
+        let mut jobs = self.lock();
+        if jobs.get(job_id).is_some_and(|f| Arc::ptr_eq(f, flag)) {
+            jobs.remove(job_id);
         }
     }
 }
@@ -221,6 +314,22 @@ impl ServerHandle {
     }
 }
 
+/// Everything one executor worker needs, bundled so the supervisor can
+/// respawn workers cheaply.
+#[derive(Clone)]
+struct ExecCtx {
+    queue: Arc<JobQueue>,
+    store: Arc<JobStore>,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    table: Arc<JobTable>,
+    profiler: Profiler,
+    watchdog_multiple: u64,
+    chaos: Option<Arc<FaultPlan>>,
+    gc_age_secs: u64,
+    gc_max: usize,
+}
+
 /// Bind, spawn the accept loop and executor pool, and return immediately.
 pub fn serve(config: ServerConfig) -> Result<ServerHandle, String> {
     let listener =
@@ -233,37 +342,59 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, String> {
         .map_err(|e| format!("local_addr: {e}"))?;
     let store = Arc::new(JobStore::new(&config.state_dir)?);
     let stop = Arc::new(AtomicBool::new(false));
-    let queue = Arc::new(JobQueue::new());
+    let queue = Arc::new(JobQueue::with_capacity(config.queue_depth));
     let stats = Arc::new(ServerStats::default());
+    let table = Arc::new(JobTable::default());
+    let chaos = config
+        .chaos
+        .map(|c| Arc::new(FaultPlan::new(c.seed, c.rates)));
     let profiler = if config.profile_spans > 0 {
         Profiler::new(config.profile_spans)
     } else {
         Profiler::disabled()
     };
 
-    let mut threads = Vec::new();
-    for _ in 0..config.executors.max(1) {
-        let (queue, store, stats, stop, profiler) = (
-            Arc::clone(&queue),
-            Arc::clone(&store),
-            Arc::clone(&stats),
-            Arc::clone(&stop),
-            profiler.clone(),
-        );
-        let watchdog_multiple = config.watchdog_multiple;
-        threads.push(std::thread::spawn(move || {
-            executor_loop(&queue, &store, &stats, &stop, &profiler, watchdog_multiple)
-        }));
+    // Startup compaction: finished journals past their age or count budget
+    // go now, before any job can resume them.
+    if config.gc_age_secs > 0 || config.gc_max > 0 {
+        let pruned = store.gc(config.gc_age_secs, config.gc_max);
+        if pruned > 0 {
+            stats.add("server.gc.pruned_journals", pruned as u64);
+        }
     }
+
+    let ctx = ExecCtx {
+        queue: Arc::clone(&queue),
+        store,
+        stats: Arc::clone(&stats),
+        stop: Arc::clone(&stop),
+        table: Arc::clone(&table),
+        profiler: profiler.clone(),
+        watchdog_multiple: config.watchdog_multiple,
+        chaos: chaos.clone(),
+        gc_age_secs: config.gc_age_secs,
+        gc_max: config.gc_max,
+    };
+    let executors = config.executors.max(1);
+    let mut threads = Vec::new();
+    threads.push(std::thread::spawn(move || {
+        executor_supervisor(executors, &ctx)
+    }));
     {
-        let (queue, stats, stop, profiler) = (
+        let (queue, stats, stop, table, profiler) = (
             Arc::clone(&queue),
             Arc::clone(&stats),
             Arc::clone(&stop),
+            Arc::clone(&table),
             profiler.clone(),
         );
+        let conn = ConnSettings {
+            idle_timeout: config.idle_timeout,
+            write_timeout: config.write_timeout,
+            chaos,
+        };
         threads.push(std::thread::spawn(move || {
-            accept_loop(listener, &queue, &stats, &stop, &profiler)
+            accept_loop(listener, &queue, &stats, &stop, &table, &profiler, &conn)
         }));
     }
     Ok(ServerHandle {
@@ -276,29 +407,60 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, String> {
     })
 }
 
-fn executor_loop(
-    queue: &JobQueue,
-    store: &JobStore,
-    stats: &ServerStats,
-    stop: &AtomicBool,
-    profiler: &Profiler,
-    watchdog_multiple: u64,
-) {
-    let mut spans = profiler.recorder();
-    while let Some(job) = queue.pop() {
-        let wait_us = profiler.now_us().saturating_sub(job.enqueued_us);
+/// Spawn `executors` worker threads and respawn any that die before
+/// shutdown. Workers normally exit only when the queue shuts down; a death
+/// before that means a panic escaped the per-job `catch_unwind`, and losing
+/// the thread would silently shrink the pool.
+fn executor_supervisor(executors: usize, ctx: &ExecCtx) {
+    let spawn = |ctx: &ExecCtx| {
+        let ctx = ctx.clone();
+        std::thread::spawn(move || executor_loop(&ctx))
+    };
+    let mut workers: Vec<JoinHandle<()>> = (0..executors).map(|_| spawn(ctx)).collect();
+    while !ctx.stop.load(Ordering::Acquire) {
+        std::thread::sleep(POLL);
+        for slot in workers.iter_mut() {
+            if slot.is_finished() && !ctx.stop.load(Ordering::Acquire) {
+                let dead = std::mem::replace(slot, spawn(ctx));
+                let _ = dead.join();
+                ctx.stats.count("server.fault.executor_respawns");
+            }
+        }
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+fn executor_loop(ctx: &ExecCtx) {
+    let mut spans = ctx.profiler.recorder();
+    while let Some(job) = ctx.queue.pop() {
+        let wait_us = ctx.profiler.now_us().saturating_sub(job.enqueued_us);
         spans.record("server.queue_wait", job.enqueued_us, wait_us, 0);
-        stats.observe("server.queue_wait_us", wait_us);
-        let inflight = stats.inflight.fetch_add(1, Ordering::AcqRel) + 1;
-        stats.with(|m| m.raise_gauge("server.jobs_inflight_peak", inflight as u64));
+        ctx.stats.observe("server.queue_wait_us", wait_us);
+        let inflight = ctx.stats.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+        ctx.stats
+            .with(|m| m.raise_gauge("server.jobs_inflight_peak", inflight as u64));
         let obs = JobObs {
-            profiler: profiler.clone(),
-            stats,
-            watchdog_multiple,
+            profiler: ctx.profiler.clone(),
+            stats: &ctx.stats,
+            watchdog_multiple: ctx.watchdog_multiple,
         };
-        match bridge::run_job(&job.job_id, &job.grid, &job.out, store, stop, &obs) {
-            Ok(report) => {
-                stats.with(|m| {
+        let ctrl = JobCtrl {
+            stop: &ctx.stop,
+            cancel: &job.cancel,
+            chaos: ctx.chaos.as_deref(),
+        };
+        // Crash isolation: a panicking point (injected or genuine) unwinds
+        // out of the harness into this frame and fails only this job. The
+        // journal keeps everything that completed, so the client's resubmit
+        // resumes rather than restarts.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            bridge::run_job(&job.job_id, &job.grid, &job.out, &ctx.store, &ctrl, &obs)
+        }));
+        match result {
+            Ok(Ok(report)) => {
+                ctx.stats.with(|m| {
                     m.add_counter(
                         "server.points_streamed",
                         (report.completed - report.resumed.min(report.completed)) as u64,
@@ -313,18 +475,59 @@ fn executor_loop(
                         1,
                     );
                 });
+                if report.cancelled
+                    && report.completed < report.points
+                    && !job.cancel.load(Ordering::Acquire)
+                    && !ctx.stop.load(Ordering::Acquire)
+                {
+                    // A journal fault (failed or torn fsync) ended the run
+                    // early with no terminating record. A vanished client's
+                    // channel is already dead, so this only reaches clients
+                    // still listening — and they can resume.
+                    let _ = job.out.send(error_line_retryable(&format!(
+                        "job {} hit a journal fault after {} points; resubmit to resume",
+                        job.job_id, report.completed
+                    )));
+                }
+                if !report.cancelled
+                    && report.completed == report.points
+                    && (ctx.gc_age_secs > 0 || ctx.gc_max > 0)
+                {
+                    // Post-summary compaction keeps the state dir bounded on
+                    // a long-lived server.
+                    let pruned = ctx.store.gc(ctx.gc_age_secs, ctx.gc_max);
+                    if pruned > 0 {
+                        ctx.stats.add("server.gc.pruned_journals", pruned as u64);
+                    }
+                }
             }
-            Err(message) => {
-                stats.count("server.jobs_rejected");
+            Ok(Err(message)) => {
+                ctx.stats.count("server.jobs_rejected");
                 let _ = job.out.send(error_line(&message));
             }
+            Err(_) => {
+                ctx.stats.count("server.fault.caught_panics");
+                let _ = job.out.send(error_line_retryable(&format!(
+                    "job {} panicked; resubmit to resume from the journal",
+                    job.job_id
+                )));
+            }
         }
-        stats.clear_progress(&job.job_id);
-        stats.inflight.fetch_sub(1, Ordering::AcqRel);
+        ctx.stats.clear_progress(&job.job_id);
+        ctx.table.finish(&job.job_id, &job.cancel);
+        ctx.stats.inflight.fetch_sub(1, Ordering::AcqRel);
         // Spans become visible to `--profile-out` as they are recorded, not
         // only at shutdown.
         spans.flush();
     }
+}
+
+/// Per-connection behavior knobs, shared by every connection thread.
+#[derive(Clone)]
+struct ConnSettings {
+    idle_timeout: Duration,
+    write_timeout: Duration,
+    chaos: Option<Arc<FaultPlan>>,
 }
 
 fn accept_loop(
@@ -332,7 +535,9 @@ fn accept_loop(
     queue: &Arc<JobQueue>,
     stats: &Arc<ServerStats>,
     stop: &Arc<AtomicBool>,
+    table: &Arc<JobTable>,
     profiler: &Profiler,
+    conn: &ConnSettings,
 ) {
     let mut spans = profiler.recorder();
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
@@ -341,14 +546,16 @@ fn accept_loop(
             Ok((stream, _)) => {
                 let accepted_us = profiler.now_us();
                 stats.count("server.connections");
-                let (queue, stats, stop, conn_profiler) = (
+                let (queue, stats, stop, table, conn_profiler, conn) = (
                     Arc::clone(queue),
                     Arc::clone(stats),
                     Arc::clone(stop),
+                    Arc::clone(table),
                     profiler.clone(),
+                    conn.clone(),
                 );
                 connections.push(std::thread::spawn(move || {
-                    handle_connection(stream, &queue, &stats, &stop, &conn_profiler)
+                    handle_connection(stream, &queue, &stats, &stop, &table, &conn_profiler, &conn)
                 }));
                 spans.record(
                     "server.accept",
@@ -375,7 +582,9 @@ fn handle_connection(
     queue: &JobQueue,
     stats: &ServerStats,
     stop: &AtomicBool,
+    table: &JobTable,
     profiler: &Profiler,
+    conn: &ConnSettings,
 ) {
     // A short read timeout keeps the thread responsive to shutdown without
     // busy-waiting; partial lines accumulate in `acc` across reads (a plain
@@ -383,12 +592,21 @@ fn handle_connection(
     if stream.set_read_timeout(Some(POLL)).is_err() {
         return;
     }
-    let Ok(mut writer) = stream.try_clone() else {
+    let Ok(writer) = stream.try_clone() else {
         return;
+    };
+    if !conn.write_timeout.is_zero() {
+        let _ = writer.set_write_timeout(Some(conn.write_timeout));
+    }
+    let mut io = ConnIo {
+        writer,
+        stats,
+        chaos: conn.chaos.as_deref(),
     };
     let mut spans = profiler.recorder();
     let mut acc: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    let mut last_activity = Instant::now();
     while !stop.load(Ordering::Acquire) {
         while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
             let raw: Vec<u8> = acc.drain(..=pos).collect();
@@ -396,36 +614,100 @@ fn handle_connection(
             if line.is_empty() {
                 continue;
             }
-            let keep_going = handle_request(&line, &mut writer, queue, stats, stop, &mut spans);
+            let keep_going = handle_request(&line, &mut io, queue, stats, stop, table, &mut spans);
             spans.flush();
             if !keep_going {
                 return;
             }
+            // A request (however long its job ran) counts as activity.
+            last_activity = Instant::now();
         }
         match stream.read(&mut chunk) {
             Ok(0) => return,
-            Ok(n) => acc.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Ok(n) => {
+                acc.extend_from_slice(chunk.get(..n).unwrap_or(&[]));
+                last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Idle reaper: a connection that sends nothing for the whole
+                // idle window is dead weight — close it so threads and fds
+                // cannot pile up behind silent clients.
+                if !conn.idle_timeout.is_zero() && last_activity.elapsed() >= conn.idle_timeout {
+                    stats.count("server.conn_idle_reaped");
+                    return;
+                }
+            }
             Err(_) => return,
         }
     }
 }
 
-fn write_line(writer: &mut TcpStream, line: &str) -> bool {
-    writer
-        .write_all(line.as_bytes())
-        .and_then(|()| writer.write_all(b"\n"))
-        .and_then(|()| writer.flush())
-        .is_ok()
+/// The response-writing half of a connection: the socket, the metric
+/// registry, and the chaos plan whose connection-level faults (drops,
+/// delayed/short writes) are injected here — the single seam every response
+/// line passes through.
+struct ConnIo<'a> {
+    writer: TcpStream,
+    stats: &'a ServerStats,
+    chaos: Option<&'a FaultPlan>,
+}
+
+impl ConnIo<'_> {
+    /// Write one response line. Returns `false` when the connection should
+    /// close (client gone, write timed out, or an injected drop).
+    fn write_line(&mut self, line: &str) -> bool {
+        if let Some(plan) = self.chaos {
+            if plan.fire(FaultSite::ConnDrop) {
+                self.stats.count("server.fault.conn_drops");
+                let _ = self.writer.shutdown(Shutdown::Both);
+                return false;
+            }
+            if plan.fire(FaultSite::WriteDelay) {
+                // Short-then-delayed write: the client sees half a line, a
+                // pause, then the rest — exercising its accumulator path.
+                self.stats.count("server.fault.write_delays");
+                let bytes = line.as_bytes();
+                let split = bytes.len() / 2;
+                let (head, tail) = bytes.split_at(split.min(bytes.len()));
+                let delay = plan.delay_ms(plan.fired(FaultSite::WriteDelay));
+                let ok = self.write_all(head)
+                    && {
+                        std::thread::sleep(Duration::from_millis(delay));
+                        true
+                    }
+                    && self.write_all(tail)
+                    && self.write_all(b"\n");
+                return ok;
+            }
+        }
+        self.write_all(line.as_bytes()) && self.write_all(b"\n")
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) -> bool {
+        let result = self
+            .writer
+            .write_all(bytes)
+            .and_then(|()| self.writer.flush());
+        match result {
+            Ok(()) => true,
+            Err(e) => {
+                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                    self.stats.count("server.conn_write_timeouts");
+                }
+                false
+            }
+        }
+    }
 }
 
 /// Handle one request line. Returns `false` when the connection should close.
 fn handle_request(
     line: &str,
-    writer: &mut TcpStream,
+    io: &mut ConnIo<'_>,
     queue: &JobQueue,
     stats: &ServerStats,
     stop: &AtomicBool,
+    table: &JobTable,
     spans: &mut SpanRecorder,
 ) -> bool {
     spans.begin("server.parse");
@@ -435,52 +717,65 @@ fn handle_request(
         Ok(value) => value,
         Err(e) => {
             stats.count("server.errors");
-            return write_line(writer, &error_line(&format!("bad request: {e}")));
+            return io.write_line(&error_line(&format!("bad request: {e}")));
         }
     };
     match request.get("type").and_then(Json::as_str) {
-        Some("ping") => write_line(writer, "{\"type\":\"pong\"}"),
+        Some("ping") => io.write_line("{\"type\":\"pong\"}"),
         Some("stats") => {
             let snap = registry_snapshot(stats, queue);
-            write_line(
-                writer,
-                &format!(
-                    "{{\"type\":\"stats\",\"metrics\":{},\"jobs\":{}}}",
-                    snap.to_json(),
-                    stats.progress_json()
-                ),
-            )
+            io.write_line(&format!(
+                "{{\"type\":\"stats\",\"metrics\":{},\"jobs\":{}}}",
+                snap.to_json(),
+                stats.progress_json()
+            ))
         }
         Some("metrics") => {
             let text = registry_snapshot(stats, queue).to_text();
             for metric_line in text.lines() {
-                if !write_line(writer, metric_line) {
+                if !io.write_line(metric_line) {
                     return false;
                 }
             }
-            write_line(writer, METRICS_EOF)
+            io.write_line(METRICS_EOF)
+        }
+        Some("cancel") => {
+            stats.count("server.cancel.requests");
+            let job_id = match request.get("job_id").and_then(Json::as_str) {
+                Some(id) => id,
+                None => {
+                    stats.count("server.errors");
+                    return io.write_line(&error_line("cancel requires a job_id"));
+                }
+            };
+            let active = table.cancel(job_id);
+            if active {
+                stats.count("server.cancel.jobs");
+            }
+            io.write_line(&cancel_ack_line(job_id, active))
         }
         Some("shutdown") => {
             // Acknowledge, then raise the stop flag the accept loop,
             // connection handlers and the `svard-server` binary all poll.
-            let _ = write_line(writer, "{\"type\":\"bye\"}");
+            let _ = io.write_line("{\"type\":\"bye\"}");
             stop.store(true, Ordering::Release);
             false
         }
-        Some("submit") => handle_submit(&request, writer, queue, stats, stop, spans),
+        Some("submit") => handle_submit(&request, io, queue, stats, stop, table, spans),
         _ => {
             stats.count("server.errors");
-            write_line(writer, &error_line("unknown request type"))
+            io.write_line(&error_line("unknown request type"))
         }
     }
 }
 
 fn handle_submit(
     request: &Json,
-    writer: &mut TcpStream,
+    io: &mut ConnIo<'_>,
     queue: &JobQueue,
     stats: &ServerStats,
     stop: &AtomicBool,
+    table: &JobTable,
     spans: &mut SpanRecorder,
 ) -> bool {
     spans.begin("server.validate");
@@ -489,13 +784,13 @@ fn handle_submit(
         None => {
             spans.end(1);
             stats.count("server.errors");
-            return write_line(writer, &error_line("submit requires a job_id"));
+            return io.write_line(&error_line("submit requires a job_id"));
         }
     };
     if let Err(e) = validate_job_id(&job_id) {
         spans.end(1);
         stats.count("server.errors");
-        return write_line(writer, &error_line(&e));
+        return io.write_line(&error_line(&e));
     }
     let grid = match request.get("grid") {
         Some(value) => match GridSpec::from_json(value) {
@@ -503,21 +798,43 @@ fn handle_submit(
             Err(e) => {
                 spans.end(1);
                 stats.count("server.errors");
-                return write_line(writer, &error_line(&format!("invalid grid: {e}")));
+                return io.write_line(&error_line(&format!("invalid grid: {e}")));
             }
         },
         None => GridSpec::default(),
     };
     spans.end(0);
+    // Duplicate guard: two live submits of one job id would race on one
+    // journal. Retryable — the earlier submit may be a dead connection whose
+    // executor has not noticed yet, in which case a retry will get through.
+    let Some(cancel) = table.begin(&job_id) else {
+        stats.count("server.errors");
+        return io.write_line(&error_line_retryable(&format!(
+            "job {job_id:?} is already active"
+        )));
+    };
     stats.count("server.jobs_submitted");
     let (tx, rx) = channel();
-    if !queue.push(QueuedJob {
-        job_id,
+    match queue.push(QueuedJob {
+        job_id: job_id.clone(),
         grid,
         out: tx,
+        cancel: Arc::clone(&cancel),
         enqueued_us: spans.profiler().now_us(),
     }) {
-        return write_line(writer, &error_line("server is shutting down"));
+        PushOutcome::Queued => {}
+        PushOutcome::Busy => {
+            // Backpressure: the queue is full, so say so instead of growing
+            // without bound. The job never reached an executor, so release
+            // its table entry here.
+            table.finish(&job_id, &cancel);
+            stats.count("server.busy_rejections");
+            return io.write_line(&busy_line(&job_id, queue.depth()));
+        }
+        PushOutcome::Shutdown => {
+            table.finish(&job_id, &cancel);
+            return io.write_line(&error_line("server is shutting down"));
+        }
     }
     // Forward the job's response stream until the executor drops its sender
     // (job finished, cancelled, or errored). Dropping `rx` on a client write
@@ -525,7 +842,7 @@ fn handle_submit(
     loop {
         match rx.recv_timeout(POLL) {
             Ok(line) => {
-                if !write_line(writer, &line) {
+                if !io.write_line(&line) {
                     return false;
                 }
             }

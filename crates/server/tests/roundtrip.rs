@@ -188,16 +188,18 @@ fn a_client_that_vanishes_cancels_the_job_without_corrupting_state() {
     let state_dir = temp_dir("vanish");
     let store = JobStore::new(&state_dir).unwrap();
     let stop = AtomicBool::new(false);
+    let cancel = AtomicBool::new(false);
+    let ctrl = bridge::JobCtrl::plain(&stop, &cancel);
     let stats = svard_server::server::ServerStats::default();
     let obs = bridge::JobObs::disabled(&stats);
     let (tx, rx) = channel();
     drop(rx);
-    let report = bridge::run_job("gone", &grid, &tx, &store, &stop, &obs).unwrap();
+    let report = bridge::run_job("gone", &grid, &tx, &store, &ctrl, &obs).unwrap();
     assert!(report.cancelled);
     assert_eq!(report.completed, 0);
     // The journal is still resumable afterwards.
     let (tx, rx) = channel();
-    let report = bridge::run_job("gone", &grid, &tx, &store, &stop, &obs).unwrap();
+    let report = bridge::run_job("gone", &grid, &tx, &store, &ctrl, &obs).unwrap();
     assert!(!report.cancelled);
     assert_eq!(report.completed, 4);
     drop(rx);
@@ -270,6 +272,7 @@ fn observability_does_not_perturb_point_lines_or_resume_identity() {
         executors: 1,
         profile_spans: 0,
         watchdog_multiple: 0,
+        ..ServerConfig::default()
     })
     .unwrap();
     let mut client = Client::connect(&dark.addr().to_string()).unwrap();
